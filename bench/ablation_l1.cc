@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Ablation study of the L1 FPU design choices called out in DESIGN.md:
+ *
+ *  1. Lookup table versus per-core memoization tables (Section 4.3.4's
+ *     rejected alternative): LCP per-core IPC, fraction of ops serviced
+ *     locally, per-core area overhead, and the aggregate throughput
+ *     consequence at 4-way sharing of the 1.0 mm^2 FPU.
+ *  2. Fuzzy memoization tag widths (Alvarez et al.): how much reuse
+ *     the memo design recovers when tags are matched at reduced width.
+ *  3. The lookup table's effective-subtraction bank versus the
+ *     paper-literal add/mul-only structure.
+ */
+
+#include "harness.h"
+
+#include "csim/trace.h"
+#include "fpu/trivial.h"
+#include "model/energy.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+namespace {
+
+void
+printRow(const char *name, const SweepResult &r, double fpu_area,
+         double baseline_ipc, int mini_share = 1)
+{
+    const double local = 100.0 * r.service.fractionLocalOneCycle();
+    const double area = model::l1OverheadMm2(r.point.design, fpu_area,
+                                             mini_share);
+    const double imp = improvementPercent(r.ipcPerCore, r.point.design,
+                                          fpu_area, r.point.coresPerFpu,
+                                          mini_share, baseline_ipc);
+    const auto energy =
+        model::fpEnergy(r.service,
+                        r.point.design != fpu::L1Design::Baseline);
+    std::printf("%-34s %8.3f %9.1f%% %12.4f %11.1f%% %10.1f%%\n", name,
+                r.ipcPerCore, local, area, imp,
+                100.0 * energy.reduction());
+}
+
+} // namespace
+
+int
+main()
+{
+    const double fpu_area = 1.0;
+
+    std::vector<csim::DesignPoint> points = {
+        {fpu::L1Design::Baseline, 1, 1, -1, true, 23},        // reference
+        {fpu::L1Design::ReducedTrivLut, 4, 1, -1, true, 23},  // paper pick
+        {fpu::L1Design::ReducedTrivLut, 4, 1, -1, false, 23}, // no sub bank
+        {fpu::L1Design::ReducedTrivMemo, 4, 1, -1, true, 23}, // exact memo
+        {fpu::L1Design::ReducedTrivMemo, 4, 1, -1, true, 11}, // fuzzy 11
+        {fpu::L1Design::ReducedTrivMemo, 4, 1, -1, true, 5},  // fuzzy 5
+    };
+    const auto results = sweepAllScenarios(fp::Phase::Lcp, points);
+    const double baseline_ipc = results[0].ipcPerCore;
+
+    std::printf("L1 design ablation, LCP phase, 4 cores per %g mm2 L2 "
+                "FPU\n\n",
+                fpu_area);
+    std::printf("%-34s %8s %10s %12s %12s %11s\n", "L1 design",
+                "IPC/core", "% local", "area mm2",
+                "throughput", "FP energy");
+    rule(92);
+    printRow("Lookup + Reduced Triv (paper)", results[1], fpu_area,
+             baseline_ipc);
+    printRow("  ... without subtract bank", results[2], fpu_area,
+             baseline_ipc);
+    printRow("Memo tables (exact tags)", results[3], fpu_area,
+             baseline_ipc);
+    printRow("Memo tables (fuzzy, 11-bit tags)", results[4], fpu_area,
+             baseline_ipc);
+    printRow("Memo tables (fuzzy, 5-bit tags)", results[5], fpu_area,
+             baseline_ipc);
+
+    // ------------------------------------------------------------
+    // Ablation 4: the deferred reduced-divisor divide condition
+    // ("Divide could also examine the reduced divisor" -- the paper
+    // leaves it disabled; how many divides would it catch?).
+    {
+        struct DivCounter : fp::OpRecorder {
+            uint64_t total = 0, unit = 0, reduced = 0;
+            void
+            record(const fp::OpRecord &rec) override
+            {
+                if (rec.phase != fp::Phase::Lcp ||
+                    rec.op != fp::Opcode::Div) {
+                    return;
+                }
+                ++total;
+                fpu::TrivOptions on;
+                on.reducedDivisor = true;
+                // Divides run at full width; the reduced-divisor rule
+                // examines the divisor at the phase's programmed
+                // minimum.
+                const int bits = 5;
+                if (fpu::checkReduced(rec.op, rec.a, rec.b, bits)
+                        .trivial()) {
+                    ++unit;
+                }
+                if (fpu::checkReduced(rec.op, rec.a, rec.b, bits, on)
+                        .trivial()) {
+                    ++reduced;
+                }
+            }
+        };
+        auto &ctx = fp::PrecisionContext::current();
+        ctx.reset();
+        DivCounter counter;
+        ctx.setRecorder(&counter);
+        for (const std::string &name : scen::scenarioNames()) {
+            scen::Scenario s = scen::makeScenario(name);
+            s.run(60);
+        }
+        ctx.reset();
+        std::printf("\nDeferred reduced-divisor condition (divisor "
+                    "examined at 5 bits):\n"
+                    "  LCP divides: %llu; trivial with paper rules: "
+                    "%.1f%%; with reduced-divisor rule: %.1f%%\n",
+                    static_cast<unsigned long long>(counter.total),
+                    counter.total ? 100.0 * counter.unit / counter.total
+                                  : 0.0,
+                    counter.total
+                        ? 100.0 * counter.reduced / counter.total
+                        : 0.0);
+    }
+
+    std::printf("\nExpected shape (the paper's Section 4.3.4 argument): "
+                "the lookup table gives\ncomparable or better local "
+                "service below 6 bits at 77%% less area, so the memo\n"
+                "designs lose on aggregate throughput once the die is "
+                "packed; fuzzy tags narrow\nthe hit-rate gap but the "
+                "area stays 0.35 mm2 per core, and memo accesses cost\n"
+                "24x the energy of a lookup.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Figure 5: aggregate throughput improvement over the
+ * 128-core unshared baseline for the four low-overhead architectures
+ * (naked Conjoin, ConvTriv, ReducedTriv, Lookup+ReducedTriv), across
+ * the four FPU areas and sharing degrees {1, 2, 4, 8}, for (a) the LCP
+ * phase and (b) the narrow phase. Area saved by sharing buys more
+ * cores (Figure 6a packing); performance = per-core IPC x cores.
+ *
+ * Pass --config to also print the Table 6 core and Table 7 latency
+ * parameters in effect.
+ */
+
+#include <cstring>
+
+#include "harness.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+namespace {
+
+void
+printConfig()
+{
+    const csim::CoreParams core;
+    std::printf("Table 6 core: 1-wide in-order, fpALU %d / fpMult %d / "
+                "fpDiv %d cycles, iALU %d cycle\n",
+                core.fpAluLatency, core.fpMulLatency, core.fpDivLatency,
+                core.intAluLatency);
+    std::printf("Table 7 latency: triv/lookup 1 cycle; mini-FPU %d "
+                "cycles; interconnect 0/0/1/2 cycles for 1/2/4/8-way; "
+                "divide window %d cycles\n\n",
+                csim::ClusterConfig::kMiniLatency,
+                csim::ClusterConfig::kDivideWindow);
+}
+
+struct Arch {
+    const char *name;
+    fpu::L1Design design;
+};
+
+void
+runPhase(fp::Phase phase, const char *title)
+{
+    const Arch archs[] = {
+        {"Conjoin", fpu::L1Design::Baseline},
+        {"Conv Triv + Conjoin", fpu::L1Design::ConvTriv},
+        {"Reduced Triv + Conjoin", fpu::L1Design::ReducedTriv},
+        {"Lookup + Reduced Triv + Conjoin",
+         fpu::L1Design::ReducedTrivLut},
+    };
+    const int sharings[] = {1, 2, 4, 8};
+
+    // Design points: the unshared baseline plus every arch x sharing.
+    std::vector<csim::DesignPoint> points;
+    points.push_back({fpu::L1Design::Baseline, 1, 1, -1});
+    for (const Arch &arch : archs) {
+        for (int n : sharings)
+            points.push_back({arch.design, n, 1, -1});
+    }
+
+    const auto results = sweepAllScenarios(phase, points);
+    const double baseline_ipc = results[0].ipcPerCore;
+
+    std::printf("Figure 5 (%s): %% throughput improvement over the "
+                "128-core unshared baseline\n",
+                title);
+    std::printf("%-32s", "architecture \\ FPU area:");
+    for (double fpu_area : model::kFpuAreasMm2) {
+        std::printf("| %18.3f mm2 ", fpu_area);
+    }
+    std::printf("\n%-32s", "cores per L2 FPU:");
+    for (size_t i = 0; i < model::kFpuAreasMm2.size(); ++i)
+        std::printf("|%6d%6d%6d%6d", 1, 2, 4, 8);
+    std::printf("\n");
+    rule(32 + 4 * 25);
+    for (size_t a = 0; a < 4; ++a) {
+        std::printf("%-32s", archs[a].name);
+        for (double fpu_area : model::kFpuAreasMm2) {
+            std::printf("|");
+            for (size_t s = 0; s < 4; ++s) {
+                const auto &r = results[1 + a * 4 + s];
+                const double imp = improvementPercent(
+                    r.ipcPerCore, r.point.design, fpu_area,
+                    r.point.coresPerFpu, 1, baseline_ipc);
+                std::printf("%5.0f%%", imp);
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--config") == 0)
+            printConfig();
+    }
+    runPhase(fp::Phase::Lcp, "a: LCP");
+    runPhase(fp::Phase::Narrow, "b: Narrow-phase");
+    std::printf("Paper shape: gains grow with FPU area; the sweet spot "
+                "is Lookup+ReducedTriv sharing one FPU among 4 cores "
+                "(paper: up to +55%% LCP / +46%% NP at 1.5 mm2); naked "
+                "Conjoin degrades at deep sharing.\n");
+    return 0;
+}

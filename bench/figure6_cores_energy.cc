@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Figure 6: (a) the total number of cores that fit in the
+ * same die area as the 128-core baseline, per configuration; (b) the
+ * percentage of FP operations satisfied locally (trivialized or table
+ * lookup) and the resulting FP dynamic-energy reduction for the three
+ * low-overhead L1 designs (C = ConvTriv, R = ReducedTriv, L = Lookup +
+ * ReducedTriv), for both phases.
+ */
+
+#include "harness.h"
+
+#include "model/energy.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+namespace {
+
+void
+partA()
+{
+    std::printf("Figure 6a: total cores in the baseline die area\n");
+    std::printf("(die areas: 472 / 408 / 376 / 328 mm2 for FPU sizes "
+                "1.5 / 1.0 / 0.75 / 0.375 mm2)\n\n");
+    struct Config {
+        const char *name;
+        fpu::L1Design design;
+        int miniShare;
+    };
+    const Config configs[] = {
+        {"Conjoin / ConvTriv / ReducedTriv", fpu::L1Design::ReducedTriv,
+         1},
+        {"Lookup + Reduced Triv", fpu::L1Design::ReducedTrivLut, 1},
+        {"mini-FPU (private)", fpu::L1Design::ReducedTrivMini, 1},
+        {"mini-FPU shared x2", fpu::L1Design::ReducedTrivMini, 2},
+        {"mini-FPU shared x4", fpu::L1Design::ReducedTrivMini, 4},
+    };
+    std::printf("%-36s", "config \\ FPU area:");
+    for (double fpu_area : model::kFpuAreasMm2)
+        std::printf("| %15.3f mm2 ", fpu_area);
+    std::printf("\n%-36s", "cores per L2 FPU:");
+    for (size_t i = 0; i < model::kFpuAreasMm2.size(); ++i)
+        std::printf("|%5d%5d%5d%5d", 1, 2, 4, 8);
+    std::printf("\n");
+    rule(36 + 4 * 21);
+    for (const Config &c : configs) {
+        std::printf("%-36s", c.name);
+        for (double fpu_area : model::kFpuAreasMm2) {
+            std::printf("|");
+            for (int n : {1, 2, 4, 8}) {
+                if (c.miniShare > n) {
+                    std::printf("%5s", "-");
+                    continue;
+                }
+                std::printf("%5d", model::coresInDie(c.design, fpu_area,
+                                                     n, c.miniShare));
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+partB()
+{
+    std::printf("Figure 6b: %% FP ops satisfied locally and %% FP "
+                "energy reduction (C/R/L)\n\n");
+    const std::vector<csim::DesignPoint> points = {
+        {fpu::L1Design::ConvTriv, 4, 1, -1},
+        {fpu::L1Design::ReducedTriv, 4, 1, -1},
+        {fpu::L1Design::ReducedTrivLut, 4, 1, -1},
+    };
+    const char *labels[] = {"C (Conv Triv)", "R (Reduced Triv)",
+                            "L (Lookup + Reduced Triv)"};
+    for (auto phase : {fp::Phase::Narrow, fp::Phase::Lcp}) {
+        const auto results = sweepAllScenarios(phase, points);
+        std::printf("%s:\n", phase == fp::Phase::Narrow ? "Narrow-phase"
+                                                        : "LCP");
+        std::printf("  %-28s %-14s %-18s\n", "design", "% local",
+                    "% energy reduction");
+        rule(62);
+        for (size_t i = 0; i < points.size(); ++i) {
+            const auto energy =
+                model::fpEnergy(results[i].service, /*has_l1=*/true);
+            std::printf("  %-28s %-14.1f %-18.1f\n", labels[i],
+                        100.0 * results[i].service.fractionLocalOneCycle(),
+                        100.0 * energy.reduction());
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper shape: HFPU (L) trivializes ~53%% of LCP FP ops;"
+                " FP energy falls ~50%% (LCP) / ~27%% (NP).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    partA();
+    partB();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 8: sensitivity of the HFPU to added L2 latency.
+ * Baseline: Lookup+ReducedTriv sharing one FPU between two cores with
+ * zero interconnect cycles (HFPU2 0-cycle). Compared: the same L1
+ * sharing among four cores with a forced interconnect latency of 1-4
+ * cycles (HFPU4 N-cycle). Reported as % aggregate throughput
+ * improvement of HFPU4 over HFPU2, per FPU area, for (a) LCP and (b)
+ * the narrow phase.
+ */
+
+#include "harness.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+namespace {
+
+void
+runPhase(fp::Phase phase, const char *title)
+{
+    std::vector<csim::DesignPoint> points;
+    // Reference: HFPU2 with 0-cycle interconnect.
+    points.push_back({fpu::L1Design::ReducedTrivLut, 2, 1, 0});
+    // HFPU4 with forced 1..4 cycle interconnect.
+    for (int lat = 1; lat <= 4; ++lat)
+        points.push_back({fpu::L1Design::ReducedTrivLut, 4, 1, lat});
+
+    const auto results = sweepAllScenarios(phase, points);
+
+    std::printf("Figure 8 (%s): %% throughput improvement of HFPU4 over "
+                "HFPU2 0-cycle\n",
+                title);
+    std::printf("%-16s", "FPU design");
+    for (int lat = 1; lat <= 4; ++lat)
+        std::printf("  HFPU4 %d-cycle", lat);
+    std::printf("\n");
+    rule(16 + 4 * 15);
+    for (double fpu_area : model::kFpuAreasMm2) {
+        const double ref_throughput =
+            results[0].ipcPerCore *
+            model::coresInDie(fpu::L1Design::ReducedTrivLut, fpu_area, 2);
+        std::printf("%10.3f mm2 ", fpu_area);
+        for (int lat = 1; lat <= 4; ++lat) {
+            const double throughput =
+                results[lat].ipcPerCore *
+                model::coresInDie(fpu::L1Design::ReducedTrivLut,
+                                  fpu_area, 4);
+            std::printf("%14.1f%%",
+                        100.0 * (throughput / ref_throughput - 1.0));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    runPhase(fp::Phase::Lcp, "a: LCP");
+    runPhase(fp::Phase::Narrow, "b: Narrow-phase");
+    std::printf("Paper shape: LCP is more latency-sensitive than the "
+                "narrow phase; the aggressively small FPUs suffer once "
+                "the added latency exceeds one cycle.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Frames-per-second projection: ties the HFPU results back to the
+ * paper's motivation ("soft performance bounds of 30-60 frames per
+ * second"). For the Mix-like Everything scenario, projects the frame
+ * rate of a full machine (cores packed per Figure 6a, 1 GHz, 3
+ * simulation steps per frame) for the unshared baseline and the HFPU
+ * configurations, per FPU area.
+ *
+ * Machine model: each step serializes narrow-phase and LCP (Figure 1);
+ * a phase's machine time is its cluster makespan scaled by
+ * cluster-cores / machine-cores (work conserving). The serialized
+ * remainder of the pipeline (broad phase, island building,
+ * integration) is charged as a fixed fraction of the baseline's
+ * per-step time, since it does not benefit from more fine-grain cores
+ * (ParallAX runs it on the coarse-grain cores).
+ */
+
+#include "harness.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+namespace {
+
+constexpr double kClockHz = 1e9;
+constexpr int kStepsPerFrame = 3;
+constexpr double kSerialFraction = 0.15;
+
+struct Config {
+    const char *name;
+    fpu::L1Design design;
+    int sharing;
+};
+
+} // namespace
+
+int
+main()
+{
+    const Config configs[] = {
+        {"128-core baseline (private FPUs)", fpu::L1Design::Baseline, 1},
+        {"Conjoin x4", fpu::L1Design::Baseline, 4},
+        {"HFPU x4 (Lookup + Reduced Triv)",
+         fpu::L1Design::ReducedTrivLut, 4},
+        {"HFPU x8 (Lookup + Reduced Triv)",
+         fpu::L1Design::ReducedTrivLut, 8},
+    };
+    const int steps = 120;
+
+    std::vector<csim::DesignPoint> points;
+    for (const Config &c : configs)
+        points.push_back({c.design, c.sharing, 1, -1});
+
+    csim::ExperimentConfig config;
+    config.scenario = "Everything";
+    config.profile = csim::paperJammingProfile("Everything");
+    config.steps = steps;
+
+    config.phase = fp::Phase::Narrow;
+    const auto narrow = csim::runExperiment(config, points);
+    config.phase = fp::Phase::Lcp;
+    const auto lcp = csim::runExperiment(config, points);
+
+    std::printf("Projected frame rate, Everything (Mix-like) scenario, "
+                "1 GHz, %d steps/frame,\n%d%% serialized pipeline "
+                "remainder\n\n",
+                kStepsPerFrame, static_cast<int>(100 * kSerialFraction));
+    std::printf("%-36s", "configuration \\ FPU area:");
+    for (double fpu_area : model::kFpuAreasMm2)
+        std::printf(" %9.3f mm2", fpu_area);
+    std::printf("\n");
+    rule(36 + 4 * 14);
+
+    // Baseline per-step machine cycles (per FPU area) for the serial
+    // charge.
+    std::vector<double> base_step_cycles;
+    for (double fpu_area : model::kFpuAreasMm2) {
+        const int cores = model::coresInDie(configs[0].design, fpu_area,
+                                            configs[0].sharing);
+        const double t_narrow = static_cast<double>(narrow[0].cycles) *
+            configs[0].sharing / cores / steps;
+        const double t_lcp = static_cast<double>(lcp[0].cycles) *
+            configs[0].sharing / cores / steps;
+        base_step_cycles.push_back(t_narrow + t_lcp);
+    }
+
+    for (size_t i = 0; i < std::size(configs); ++i) {
+        std::printf("%-36s", configs[i].name);
+        for (size_t a = 0; a < model::kFpuAreasMm2.size(); ++a) {
+            const double fpu_area = model::kFpuAreasMm2[a];
+            const int cores = model::coresInDie(
+                configs[i].design, fpu_area, configs[i].sharing);
+            const double t_narrow =
+                static_cast<double>(narrow[i].cycles) *
+                configs[i].sharing / cores / steps;
+            const double t_lcp = static_cast<double>(lcp[i].cycles) *
+                configs[i].sharing / cores / steps;
+            const double serial =
+                kSerialFraction * base_step_cycles[a];
+            const double step_cycles = t_narrow + t_lcp + serial;
+            const double fps =
+                kClockHz / (step_cycles * kStepsPerFrame);
+            // Our Everything scene is deliberately small (~70
+            // bodies); report the headroom relative to the 60 fps
+            // bound, i.e. how much more scene this machine could
+            // simulate interactively.
+            std::printf(" %8.0fx@60", fps / 60.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(Values are scene-size headroom at the paper's 60 "
+                "fps interactive bound for this\n~70-body scene.) "
+                "Shape: the HFPU-at-4-way row beats the baseline at "
+                "every FPU\narea, most strongly for the large FPUs.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef HFPU_BENCH_HARNESS_H
+#define HFPU_BENCH_HARNESS_H
+
+/**
+ * @file
+ * Shared machinery for the table/figure reproduction binaries: running
+ * the cycle-simulator sweep over all scenarios, converting per-core
+ * IPC into aggregate machine throughput via the die-packing model, and
+ * formatting paper-shaped output.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "csim/experiment.h"
+#include "model/area.h"
+#include "scen/scenario.h"
+
+namespace hfpu {
+namespace bench {
+
+/** Results of one design point averaged across all scenarios. */
+struct SweepResult {
+    csim::DesignPoint point;
+    double ipcPerCore = 0.0;      //!< scenario-average
+    fpu::ServiceStats service;    //!< pooled across scenarios
+    uint64_t fpOps = 0;
+};
+
+/**
+ * Run every scenario through the given design points for one phase and
+ * average the per-core IPC (pooling service stats and op counts).
+ */
+inline std::vector<SweepResult>
+sweepAllScenarios(fp::Phase phase,
+                  const std::vector<csim::DesignPoint> &points,
+                  int steps = 60)
+{
+    std::vector<SweepResult> out(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        out[i].point = points[i];
+    int scenario_count = 0;
+    for (const std::string &name : scen::scenarioNames()) {
+        csim::ExperimentConfig config;
+        config.scenario = name;
+        config.phase = phase;
+        config.steps = steps;
+        config.profile = csim::paperJammingProfile(name);
+        const auto results = csim::runExperiment(config, points);
+        for (size_t i = 0; i < points.size(); ++i) {
+            out[i].ipcPerCore += results[i].ipcPerCore;
+            out[i].fpOps += results[i].fpOps;
+            out[i].service.merge(results[i].service);
+        }
+        ++scenario_count;
+    }
+    for (auto &r : out)
+        r.ipcPerCore /= scenario_count;
+    return out;
+}
+
+/**
+ * Aggregate machine throughput improvement over the 128-core unshared
+ * baseline at a given FPU area: throughput = per-core IPC x cores that
+ * fit in the baseline die.
+ */
+inline double
+improvementPercent(double ipc, fpu::L1Design design, double fpu_area,
+                   int cores_per_fpu, int mini_share, double baseline_ipc)
+{
+    const int cores =
+        model::coresInDie(design, fpu_area, cores_per_fpu, mini_share);
+    const double throughput = ipc * cores;
+    const double baseline = baseline_ipc * model::kBaselineCores;
+    return 100.0 * (throughput / baseline - 1.0);
+}
+
+/** Print a horizontal rule of the given width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace hfpu
+
+#endif // HFPU_BENCH_HARNESS_H

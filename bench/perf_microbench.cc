@@ -1,0 +1,177 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * soft-float reference, mantissa reduction, trivialization checks,
+ * lookup-table and memoization accesses, a physics world step, and the
+ * cluster timing model. These gate the wall-clock cost of the table/
+ * figure harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "csim/cluster.h"
+#include "fp/precision.h"
+#include "fp/rounding.h"
+#include "fp/softfloat.h"
+#include "fpu/lut.h"
+#include "fpu/memo.h"
+#include "fpu/trivial.h"
+#include "phys/world.h"
+
+using namespace hfpu;
+
+namespace {
+
+std::vector<std::pair<uint32_t, uint32_t>>
+randomOperands(int n, uint32_t exp_lo = 100, uint32_t exp_hi = 150)
+{
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<uint32_t> frac(0, fp::kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(exp_lo, exp_hi);
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        out.emplace_back(fp::packFloat(0, exp(rng), frac(rng)),
+                         fp::packFloat(0, exp(rng), frac(rng)));
+    }
+    return out;
+}
+
+void
+BM_SoftFloatAdd(benchmark::State &state)
+{
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(fp::soft::addBits(a, b));
+    }
+}
+BENCHMARK(BM_SoftFloatAdd);
+
+void
+BM_SoftFloatDiv(benchmark::State &state)
+{
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(fp::soft::divBits(a, b));
+    }
+}
+BENCHMARK(BM_SoftFloatDiv);
+
+void
+BM_ReduceMantissaJamming(benchmark::State &state)
+{
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fp::reduceMantissa(
+            ops[i++ & 1023].first, 5, fp::RoundingMode::Jamming));
+    }
+}
+BENCHMARK(BM_ReduceMantissaJamming);
+
+void
+BM_PrecisionScalarMulReduced(benchmark::State &state)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    ctx.setAllMantissaBits(static_cast<int>(state.range(0)));
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(
+            fp::fmul(fp::floatFromBits(a), fp::floatFromBits(b)));
+    }
+    ctx.reset();
+}
+BENCHMARK(BM_PrecisionScalarMulReduced)->Arg(23)->Arg(5);
+
+void
+BM_TrivialCheckReduced(benchmark::State &state)
+{
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(
+            fpu::checkReduced(fp::Opcode::Add, a, b, 5));
+    }
+}
+BENCHMARK(BM_TrivialCheckReduced);
+
+void
+BM_LookupTableAccess(benchmark::State &state)
+{
+    const fpu::LookupTable lut(fp::RoundingMode::Jamming);
+    auto ops = randomOperands(1024, 120, 130);
+    for (auto &[a, b] : ops) {
+        a = fp::reduceMantissa(a, 5, fp::RoundingMode::Jamming);
+        b = fp::reduceMantissa(b, 5, fp::RoundingMode::Jamming);
+    }
+    size_t i = 0;
+    uint32_t out;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(lut.lookup(fp::Opcode::Add, a, b, out));
+    }
+}
+BENCHMARK(BM_LookupTableAccess);
+
+void
+BM_MemoTableAccess(benchmark::State &state)
+{
+    fpu::MemoUnit memo;
+    const auto ops = randomOperands(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[a, b] = ops[i++ & 1023];
+        benchmark::DoNotOptimize(memo.access(fp::Opcode::Mul, a, b, a));
+    }
+}
+BENCHMARK(BM_MemoTableAccess);
+
+void
+BM_WorldStepStack(benchmark::State &state)
+{
+    fp::PrecisionContext::current().reset();
+    phys::World world;
+    world.addBody(phys::RigidBody::makeStatic(
+        phys::Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    for (int i = 0; i < 8; ++i) {
+        world.addBody(phys::RigidBody(
+            phys::Shape::box({0.4f, 0.2f, 0.4f}), 1.0f,
+            {0.0f, 0.2f + 0.41f * i, 0.0f}));
+    }
+    for (auto _ : state)
+        world.step();
+}
+BENCHMARK(BM_WorldStepStack);
+
+void
+BM_ClusterDispatch(benchmark::State &state)
+{
+    const csim::CoreParams params;
+    csim::ClusterConfig config;
+    config.coresPerFpu = 4;
+    csim::ClusterSim sim(params, config);
+    csim::ClassifiedUnit unit;
+    unit.phase = fp::Phase::Lcp;
+    for (int i = 0; i < 64; ++i) {
+        unit.ops.push_back(
+            {fp::Opcode::Add, i % 3 == 0 ? fpu::ServiceLevel::Full
+                                         : fpu::ServiceLevel::Trivial});
+    }
+    for (auto _ : state)
+        sim.dispatch(unit);
+}
+BENCHMARK(BM_ClusterDispatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces Table 4: for each scenario's LCP phase (round-to-nearest,
+ * 200 steps, object disabling enabled), the percentage of FP adds and
+ * multiplies that are (a) trivialized — conventional conditions at
+ * full 23-bit precision versus all conditions at the scenario's
+ * reduced precision — and (b) memoized by two 256-entry 16-way tables
+ * (trivializable ops are filtered from the tables, as in the paper).
+ *
+ * Pass --table2 to also print the conventional trivialization rules.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "csim/profile.h"
+#include "fp/precision.h"
+#include "fpu/memo.h"
+#include "fpu/trivial.h"
+#include "scen/scenario.h"
+
+using namespace hfpu;
+
+namespace {
+
+/** Streams LCP ops into trivialization checks and memo tables. */
+class Collector : public fp::OpRecorder
+{
+  public:
+    explicit Collector(bool reduced) : reduced_(reduced) {}
+
+    void
+    record(const fp::OpRecord &rec) override
+    {
+        if (rec.phase != fp::Phase::Lcp)
+            return;
+        if (rec.op != fp::Opcode::Add && rec.op != fp::Opcode::Sub &&
+            rec.op != fp::Opcode::Mul) {
+            return;
+        }
+        const fpu::TrivOutcome outcome = reduced_
+            ? fpu::checkReduced(rec.op, rec.a, rec.b, rec.mantissaBits)
+            : fpu::checkConventional(rec.op, rec.a, rec.b);
+        triv.note(rec.op, outcome.condition);
+        if (!outcome.trivial())
+            memo.access(rec.op, rec.a, rec.b, rec.result);
+    }
+
+    fpu::TrivStats triv;
+    fpu::MemoUnit memo;
+
+  private:
+    bool reduced_;
+};
+
+struct Rates {
+    double trivAdd, trivMul, memoAdd, memoMul;
+};
+
+Rates
+runScenario(const std::string &name, int lcp_bits, bool reduced)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    ctx.setRoundingMode(fp::RoundingMode::RoundToNearest);
+    ctx.setMantissaBits(fp::Phase::Lcp, reduced ? lcp_bits : 23);
+
+    scen::Scenario scenario = scen::makeScenario(name);
+    Collector collector(reduced);
+    ctx.setRecorder(&collector);
+    scenario.run(200);
+    ctx.reset();
+
+    auto pct = [](double x) { return 100.0 * x; };
+    const auto &triv = collector.triv;
+    const double add_total = static_cast<double>(
+        triv.total(fp::Opcode::Add) + triv.total(fp::Opcode::Sub));
+    const double add_triv = static_cast<double>(
+        triv.trivial(fp::Opcode::Add) + triv.trivial(fp::Opcode::Sub));
+    return Rates{
+        pct(add_total > 0 ? add_triv / add_total : 0.0),
+        pct(triv.fractionTrivial(fp::Opcode::Mul)),
+        pct(collector.memo.addTable().hitRate()),
+        pct(collector.memo.mulTable().hitRate()),
+    };
+}
+
+void
+printTable2()
+{
+    std::printf("Table 2: conventional trivial cases\n");
+    std::printf("  Add      X+Y    trivial when X=0 or Y=0\n");
+    std::printf("  Subtract X-Y    trivial when X=0 or Y=0\n");
+    std::printf("  Multiply X*Y    trivial when X=0 or +/-1, "
+                "or Y=0 or +/-1\n");
+    std::printf("  Divide   X/Y    trivial when X=0 or Y=+/-1\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--table2") == 0)
+            printTable2();
+    }
+
+    std::printf("Table 4: %% of LCP FP adds/multiplies trivialized or "
+                "memoized\n(23-bit = conventional conditions at full "
+                "precision; Reduced = all conditions at the Table 1 "
+                "round-to-nearest LCP minimum)\n\n");
+    std::printf("%-5s %-5s | %-15s %-15s | %-15s %-15s\n", "", "bits",
+                "Triv 23-bit", "Triv Reduced", "Memo 23-bit",
+                "Memo Reduced");
+    std::printf("%-11s | %-7s %-7s %-7s %-7s | %-7s %-7s %-7s %-7s\n",
+                "Bench", "Add", "Mult", "Add", "Mult", "Add", "Mult",
+                "Add", "Mult");
+    std::printf("--------------------------------------------------"
+                "------------------------------\n");
+
+    double sum_full_add = 0, sum_full_mul = 0, sum_red_add = 0,
+           sum_red_mul = 0;
+    int count = 0;
+    for (const std::string &name : scen::scenarioNames()) {
+        const int bits = csim::paperRoundToNearestLcpBits(name);
+        const Rates full = runScenario(name, bits, /*reduced=*/false);
+        const Rates reduced = runScenario(name, bits, /*reduced=*/true);
+        std::printf("%-5s %-5d | %-7.0f %-7.0f %-7.0f %-7.0f |"
+                    " %-7.0f %-7.0f %-7.0f %-7.0f\n",
+                    scen::shortName(name).c_str(), bits, full.trivAdd,
+                    full.trivMul, reduced.trivAdd, reduced.trivMul,
+                    full.memoAdd, full.memoMul, reduced.memoAdd,
+                    reduced.memoMul);
+        sum_full_add += full.trivAdd;
+        sum_full_mul += full.trivMul;
+        sum_red_add += reduced.trivAdd;
+        sum_red_mul += reduced.trivMul;
+        ++count;
+    }
+    std::printf("\nAverage additional trivialization from reduction + "
+                "new conditions: adds +%.0f points, mults +%.0f points\n"
+                "(paper: +15 points adds, +13 points mults on average; "
+                "memo hit rates only become large where the minimum "
+                "precision is <= 5 bits)\n",
+                (sum_red_add - sum_full_add) / count,
+                (sum_red_mul - sum_full_mul) / count);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Table 5: latency, energy, and area of the 2K-entry
+ * boot-time lookup table versus the two 256-entry 16-way memoization
+ * tables, from the calibrated first-order SRAM model, plus the
+ * geometry sensitivity the model enables.
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "model/tables.h"
+
+using namespace hfpu::model;
+
+namespace {
+
+void
+printRow(const char *name, const TableCosts &c)
+{
+    std::printf("%-10s %12.2f %12.2f %12.2f\n", name, c.latencyNs,
+                c.energyNj, c.areaMm2);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 5: lookup vs memoization table\n\n");
+    std::printf("%-10s %12s %12s %12s\n", "Type", "Latency(ns)",
+                "Energy(nJ)", "Area(mm2)");
+    std::printf("--------------------------------------------------\n");
+    printRow("Lookup", lookupTableCosts());
+    printRow("Memo", memoTableCosts());
+    std::printf("\nArea reduction from replacing the memo tables with "
+                "the lookup table: %.0f%% (paper: 77%%)\n\n",
+                100.0 * (1.0 - lookupTableCosts().areaMm2 /
+                                   memoTableCosts().areaMm2));
+
+    std::printf("Calibrated model across lookup-table geometries "
+                "(untagged, 1 port):\n");
+    std::printf("%-18s %12s %12s %12s\n", "entries x bits",
+                "Latency(ns)", "Energy(nJ)", "Area(mm2)");
+    std::printf("--------------------------------------------------------\n");
+    for (int entries : {512, 1024, 2048, 4096, 8192}) {
+        const TableCosts c = estimateTable({entries, 8, 1, false});
+        std::printf("%7d x 8        %12.2f %12.2f %12.3f\n", entries,
+                    c.latencyNs, c.energyNj, c.areaMm2);
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table 8: per-core area overhead of each L1 FPU design and
+ * the average per-core IPC at 4 cores per L2 FPU, for the narrow phase
+ * and the LCP phase (averaged across all eight scenarios).
+ */
+
+#include "harness.h"
+
+using namespace hfpu;
+using namespace hfpu::bench;
+
+int
+main()
+{
+    struct Row {
+        const char *name;
+        fpu::L1Design design;
+    };
+    const Row rows[] = {
+        {"Baseline (Conjoin)", fpu::L1Design::Baseline},
+        {"Conv Triv", fpu::L1Design::ConvTriv},
+        {"Reduced Triv", fpu::L1Design::ReducedTriv},
+        {"Reduced Triv + Lookup Table", fpu::L1Design::ReducedTrivLut},
+        {"Reduced Triv + mini-FPU (14bit)",
+         fpu::L1Design::ReducedTrivMini},
+    };
+
+    std::vector<csim::DesignPoint> points;
+    for (const Row &row : rows)
+        points.push_back({row.design, 4, 1, -1});
+
+    const auto narrow = sweepAllScenarios(fp::Phase::Narrow, points);
+    const auto lcp = sweepAllScenarios(fp::Phase::Lcp, points);
+
+    std::printf("Table 8: evaluated designs (4 cores per L2 FPU)\n");
+    std::printf("%-33s %-26s %-10s %-10s\n", "architecture",
+                "area overhead/core (mm2)", "IPC NP", "IPC LCP");
+    rule(84);
+    for (size_t i = 0; i < std::size(rows); ++i) {
+        char overhead[64];
+        if (rows[i].design == fpu::L1Design::ReducedTrivMini) {
+            std::snprintf(overhead, sizeof(overhead),
+                          "%.4f + (0.6 x FP area)",
+                          model::kReducedTrivAreaMm2);
+        } else {
+            std::snprintf(overhead, sizeof(overhead), "%.4f",
+                          model::l1OverheadMm2(rows[i].design, 0.0));
+        }
+        std::printf("%-33s %-26s %-10.3f %-10.3f\n", rows[i].name,
+                    overhead, narrow[i].ipcPerCore, lcp[i].ipcPerCore);
+    }
+    std::printf("\nPaper reference (NP, LCP): 0.347/0.293, 0.376/0.319,"
+                " 0.377/0.334, 0.377/0.357, 0.382/0.364\n");
+    return 0;
+}

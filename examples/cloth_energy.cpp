@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cloth with the energy guard: drapes a cloth patch over a box under
+ * dynamic precision reduction, comparing a Table-1-informed minimum
+ * width (believable: the cloth drapes as at full precision) with an
+ * over-aggressive one (the cloth slides off the box — a believability
+ * failure the energy rule alone cannot see, which is exactly why the
+ * paper programs per-workload minimums from offline profiling and uses
+ * the energy rule only as the runtime guard).
+ *
+ * Build: cmake --build build && ./build/examples/cloth_energy
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fp/precision.h"
+#include "phys/cloth.h"
+#include "phys/world.h"
+
+using namespace hfpu;
+using namespace hfpu::phys;
+
+namespace {
+
+struct DrapeResult {
+    int particlesOnBox = 0;   //!< particles resting on the box top
+    float lowest = 0.0f, highest = 0.0f;
+    int violations = 0;
+    int reexecutions = 0;
+    bool finite = false;
+};
+
+DrapeResult
+run(int min_lcp_bits, bool log)
+{
+    fp::PrecisionContext::current().reset();
+    World world;
+    world.addBody(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    world.addBody(RigidBody::makeStatic(Shape::box({0.5f, 0.5f, 0.5f}),
+                                        {0.9f, 0.5f, 0.9f}));
+    ClothParams params;
+    params.nx = 8;
+    params.nz = 8;
+    const Cloth cloth = buildCloth(world, {0.1f, 1.5f, 0.1f}, params);
+
+    PrecisionPolicy policy;
+    policy.minNarrowBits = 9;
+    policy.minLcpBits = min_lcp_bits;
+    policy.roundingMode = fp::RoundingMode::Jamming;
+    PrecisionController controller(policy);
+    world.setController(&controller);
+
+    if (log) {
+        std::printf("%6s %12s %10s %10s %12s\n", "frame", "energy(J)",
+                    "dE/E", "LCP bits", "violations");
+    }
+    for (int frame = 0; frame < 60; ++frame) {
+        for (int sub = 0; sub < 3; ++sub)
+            world.step(); // 3 steps per frame, as in the paper
+        if (log && frame % 10 == 0) {
+            std::printf("%6d %12.3f %10.4f %10d %12d\n", frame,
+                        world.lastEnergy().total(),
+                        controller.monitor().lastRelativeDelta(),
+                        controller.currentLcpBits(),
+                        controller.violations());
+        }
+    }
+
+    DrapeResult result;
+    result.lowest = 1e9f;
+    result.highest = -1e9f;
+    for (BodyId id : cloth.particles) {
+        const float y = world.body(id).pos.y;
+        result.lowest = std::min(result.lowest, y);
+        result.highest = std::max(result.highest, y);
+        if (y > 0.8f)
+            ++result.particlesOnBox;
+    }
+    result.violations = controller.violations();
+    result.reexecutions = controller.reexecutions();
+    result.finite = world.stateFinite();
+    fp::PrecisionContext::current().reset();
+    return result;
+}
+
+void
+report(const char *label, const DrapeResult &r)
+{
+    std::printf("%-28s particles on box: %2d/64, heights "
+                "[%.2f, %.2f] m, %d violations, %d reexec, %s\n",
+                label, r.particlesOnBox, r.lowest, r.highest,
+                r.violations, r.reexecutions,
+                r.finite ? "finite" : "NOT FINITE");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Draping an 8x8 cloth over a box under dynamic "
+                "precision reduction\n\n");
+    std::printf("-- believable profile (LCP minimum 6 bits, from the "
+                "Table 1 sweep) --\n");
+    const DrapeResult good = run(6, /*log=*/true);
+    std::printf("\n-- over-aggressive profile (LCP minimum 2 bits) --\n");
+    const DrapeResult bad = run(2, /*log=*/false);
+    const DrapeResult reference = run(23, /*log=*/false);
+
+    std::printf("\n");
+    report("full precision:", reference);
+    report("6-bit minimum:", good);
+    report("2-bit minimum:", bad);
+
+    std::printf("\nAt the profiled minimum the drape matches full "
+                "precision; far below it the\ncloth slips off the box "
+                "even though energy stays tame — believability "
+                "minimums\nmust come from offline profiling (Table 1), "
+                "with the energy rule as the\nruntime fail-safe.\n");
+    return 0;
+}

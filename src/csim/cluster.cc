@@ -1,0 +1,169 @@
+#include "csim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hfpu {
+namespace csim {
+
+using fpu::ServiceLevel;
+
+std::vector<ClassifiedUnit>
+classifyUnits(const std::vector<WorkUnit> &units, const fpu::L1Fpu &l1,
+              fpu::ServiceStats *stats)
+{
+    std::vector<ClassifiedUnit> out;
+    out.reserve(units.size());
+    for (const WorkUnit &unit : units) {
+        ClassifiedUnit cu;
+        cu.phase = unit.phase;
+        cu.ops.reserve(unit.ops.size());
+        for (const TraceOp &op : unit.ops) {
+            const auto decision = l1.classify(op.op, op.a, op.b, op.bits);
+            cu.ops.push_back(ClassifiedOp{op.op, decision.level,
+                                          decision.memoCandidate, op.a,
+                                          op.b, 0});
+            if (stats)
+                stats->note(op.op, decision.level);
+        }
+        out.push_back(std::move(cu));
+    }
+    return out;
+}
+
+CoreTimer::CoreTimer(const CoreParams &params, const ClusterConfig &config,
+                     int slot, int mini_slot, fpu::ServiceStats *stats)
+    : params_(params), config_(config), slot_(slot), miniSlot_(mini_slot),
+      stats_(stats)
+{
+    assert(slot >= 0 && slot < config.coresPerFpu);
+    if (config.l1.design == fpu::L1Design::ReducedTrivMemo) {
+        memo_ = std::make_unique<fpu::MemoUnit>(
+            256, 16, config.l1.memoFuzzyBits);
+    }
+}
+
+fpu::ServiceLevel
+CoreTimer::resolveLevel(const ClassifiedOp &op)
+{
+    if (op.level == ServiceLevel::Full && op.memoCandidate && memo_) {
+        // Stateful per-core memoization: a hit completes locally; a
+        // miss executes on the full FPU and installs the result.
+        if (memo_->access(op.op, op.a, op.b, op.result))
+            return ServiceLevel::Memo;
+    }
+    return op.level;
+}
+
+void
+CoreTimer::runFiller(int count, fp::Phase phase)
+{
+    const int every = params_.bubbleEveryFor(phase);
+    const int cycles = params_.bubbleCyclesFor(phase);
+    for (int i = 0; i < count; ++i) {
+        ++fillerCount_;
+        time_ += params_.intAluLatency;
+        if (every > 0 && fillerCount_ % every == 0)
+            time_ += cycles;
+    }
+}
+
+uint64_t
+CoreTimer::fpCost(const ClassifiedOp &op, fpu::ServiceLevel level)
+{
+    switch (level) {
+      case ServiceLevel::Trivial:
+      case ServiceLevel::Lookup:
+      case ServiceLevel::Memo:
+        return ClusterConfig::kLocalLatency;
+
+      case ServiceLevel::Mini: {
+        // Alternating-cycle slots among miniShare cores; private mini
+        // (miniShare == 1) issues immediately.
+        const int m = std::max(config_.miniShare, 1);
+        const uint64_t wait =
+            (static_cast<uint64_t>(miniSlot_) + m - (time_ % m)) % m;
+        return wait + ClusterConfig::kMiniLatency;
+      }
+
+      case ServiceLevel::Full: {
+        const int n = std::max(config_.coresPerFpu, 1);
+        const int lat = params_.fpLatency(op.op);
+        uint64_t wait;
+        if (op.op == fp::Opcode::Div || op.op == fp::Opcode::Sqrt) {
+            // Non-pipelined: alternating 3-cycle scheduling windows.
+            const uint64_t w = static_cast<uint64_t>(
+                ClusterConfig::kDivideWindow) * n;
+            const uint64_t start =
+                static_cast<uint64_t>(slot_) *
+                ClusterConfig::kDivideWindow;
+            wait = (start + w - (time_ % w)) % w;
+        } else {
+            // Pipelined: one issue slot every n cycles.
+            wait = (static_cast<uint64_t>(slot_) + n - (time_ % n)) % n;
+        }
+        return wait + config_.interconnect() + lat;
+      }
+    }
+    return 1;
+}
+
+uint64_t
+CoreTimer::runUnit(const ClassifiedUnit &unit)
+{
+    const double filler_per_fp = params_.fillerPerFpOp(unit.phase);
+    uint64_t instructions = 0;
+    for (const ClassifiedOp &op : unit.ops) {
+        fillerDebt_ += filler_per_fp;
+        const int filler = static_cast<int>(fillerDebt_);
+        fillerDebt_ -= filler;
+        runFiller(filler, unit.phase);
+        instructions += filler;
+        const fpu::ServiceLevel level = resolveLevel(op);
+        if (stats_)
+            stats_->note(op.op, level);
+        time_ += fpCost(op, level);
+        ++instructions;
+    }
+    return instructions;
+}
+
+ClusterSim::ClusterSim(const CoreParams &params,
+                       const ClusterConfig &config)
+    : params_(params), config_(config)
+{
+    const int n = std::max(config.coresPerFpu, 1);
+    const int m = std::max(config.miniShare, 1);
+    timers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        timers_.emplace_back(params_, config_, i, i % m, &stats_);
+}
+
+void
+ClusterSim::dispatch(const ClassifiedUnit &unit)
+{
+    // Work queue: the earliest-free core takes the next unit.
+    CoreTimer *earliest = &timers_[0];
+    for (CoreTimer &t : timers_) {
+        if (t.time() < earliest->time())
+            earliest = &t;
+    }
+    instructions_ += earliest->runUnit(unit);
+    fpOps_ += unit.ops.size();
+    ++units_;
+}
+
+ClusterResult
+ClusterSim::result() const
+{
+    ClusterResult r;
+    for (const CoreTimer &t : timers_)
+        r.cycles = std::max(r.cycles, t.time());
+    r.instructions = instructions_;
+    r.fpOps = fpOps_;
+    r.units = units_;
+    return r;
+}
+
+} // namespace csim
+} // namespace hfpu

@@ -1,0 +1,157 @@
+#ifndef HFPU_CSIM_CLUSTER_H
+#define HFPU_CSIM_CLUSTER_H
+
+/**
+ * @file
+ * Cycle-level timing model of one FPU-sharing cluster: N in-order
+ * single-issue cores (Table 6) sharing one full-precision L2 FPU under
+ * the paper's round-robin alternating-cycle arbitration, with Table 7
+ * variable FP latency. Because arbitration uses fixed time slots (an
+ * unused slot is wasted, not reassigned), each core's timing is
+ * independent given its slot, so cores are simulated op-by-op without
+ * a global cycle loop. Work units are distributed with a work queue
+ * (earliest-free-core-first), mirroring the engine's persistent worker
+ * threads.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "csim/params.h"
+#include "csim/trace.h"
+#include "fpu/hfpu.h"
+#include "fpu/memo.h"
+
+namespace hfpu {
+namespace csim {
+
+/** A trace op after L1 classification. */
+struct ClassifiedOp {
+    fp::Opcode op;
+    fpu::ServiceLevel level;
+    /** Memo-ablation candidate: resolved per-core at dispatch time. */
+    bool memoCandidate = false;
+    uint32_t a = 0; //!< operand bits (for stateful memo resolution)
+    uint32_t b = 0;
+    uint32_t result = 0;
+};
+
+/** A work unit after classification. */
+struct ClassifiedUnit {
+    fp::Phase phase = fp::Phase::Other;
+    std::vector<ClassifiedOp> ops;
+};
+
+/**
+ * Classify every op of every unit under an L1 design, optionally
+ * collecting service statistics.
+ */
+std::vector<ClassifiedUnit> classifyUnits(
+    const std::vector<WorkUnit> &units, const fpu::L1Fpu &l1,
+    fpu::ServiceStats *stats = nullptr);
+
+/**
+ * Timing state of one core in a cluster.
+ */
+class CoreTimer
+{
+  public:
+    /**
+     * @param params    core latencies
+     * @param config    cluster configuration
+     * @param slot      this core's L2 FPU arbitration slot [0, N)
+     * @param mini_slot this core's mini-FPU slot [0, miniShare)
+     * @param stats     where actually-serviced levels are counted
+     *                  (may be null)
+     */
+    CoreTimer(const CoreParams &params, const ClusterConfig &config,
+              int slot, int mini_slot,
+              fpu::ServiceStats *stats = nullptr);
+
+    /**
+     * Execute one work unit to completion; advances local time.
+     *
+     * @return instructions executed (FP plus synthetic non-FP filler).
+     */
+    uint64_t runUnit(const ClassifiedUnit &unit);
+
+    uint64_t time() const { return time_; }
+
+  private:
+    void runFiller(int count, fp::Phase phase);
+    uint64_t fpCost(const ClassifiedOp &op, fpu::ServiceLevel level);
+    /** Resolve a memo candidate against this core's tables. */
+    fpu::ServiceLevel resolveLevel(const ClassifiedOp &op);
+
+    const CoreParams &params_;
+    ClusterConfig config_;
+    int slot_;
+    int miniSlot_;
+    fpu::ServiceStats *stats_;
+    /** Per-core memoization tables (memo ablation design only). */
+    std::unique_ptr<fpu::MemoUnit> memo_;
+    uint64_t time_ = 0;
+    double fillerDebt_ = 0.0;
+    uint64_t fillerCount_ = 0; // drives the deterministic bubble pattern
+};
+
+/** Aggregate result of a cluster simulation. */
+struct ClusterResult {
+    uint64_t cycles = 0;        //!< makespan across the cluster's cores
+    uint64_t instructions = 0;  //!< FP + filler instructions executed
+    uint64_t fpOps = 0;
+    uint64_t units = 0;
+
+    double
+    ipcPerCore(int cores) const
+    {
+        return cycles == 0 ? 0.0
+            : static_cast<double>(instructions) /
+                  (static_cast<double>(cycles) * cores);
+    }
+};
+
+/**
+ * Streaming cluster simulator: feed work units step by step; cores
+ * pick up units work-queue style.
+ */
+class ClusterSim
+{
+  public:
+    ClusterSim(const CoreParams &params, const ClusterConfig &config);
+
+    /** Dispatch one unit to the earliest-free core. */
+    void dispatch(const ClassifiedUnit &unit);
+
+    /** Dispatch a batch. */
+    void
+    dispatchAll(const std::vector<ClassifiedUnit> &units)
+    {
+        for (const auto &u : units)
+            dispatch(u);
+    }
+
+    /** Result so far (makespan = max core time). */
+    ClusterResult result() const;
+
+    int cores() const { return static_cast<int>(timers_.size()); }
+
+    /** Actually-serviced levels (memo hits resolved per core). */
+    const fpu::ServiceStats &serviceStats() const { return stats_; }
+
+  private:
+    CoreParams params_;
+    ClusterConfig config_;
+    fpu::ServiceStats stats_;
+    std::vector<CoreTimer> timers_;
+    uint64_t instructions_ = 0;
+    uint64_t fpOps_ = 0;
+    uint64_t units_ = 0;
+};
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_CLUSTER_H

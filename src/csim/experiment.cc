@@ -1,0 +1,118 @@
+#include "csim/experiment.h"
+
+#include <map>
+#include <memory>
+
+#include "fp/precision.h"
+#include "scen/scenario.h"
+
+namespace hfpu {
+namespace csim {
+
+namespace {
+
+/** Key identifying a distinct L1 configuration among design points. */
+struct L1Key {
+    fpu::L1Design design;
+    bool lutSubBank;
+
+    bool
+    operator<(const L1Key &o) const
+    {
+        if (design != o.design)
+            return design < o.design;
+        return lutSubBank < o.lutSubBank;
+    }
+};
+
+L1Key
+keyOf(const DesignPoint &p)
+{
+    return L1Key{p.design, p.lutSubBank};
+}
+
+} // namespace
+
+std::vector<PhaseSimResult>
+runExperiment(const ExperimentConfig &config,
+              const std::vector<DesignPoint> &points)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    ctx.setRoundingMode(config.roundingMode);
+    ctx.setMantissaBits(fp::Phase::Narrow, config.profile.narrowBits);
+    ctx.setMantissaBits(fp::Phase::Lcp, config.profile.lcpBits);
+
+    // One L1 model per distinct design; one cluster per point.
+    std::map<L1Key, std::unique_ptr<fpu::L1Fpu>> l1s;
+    for (const DesignPoint &p : points) {
+        const L1Key key = keyOf(p);
+        if (!l1s.count(key)) {
+            fpu::L1Config l1cfg;
+            l1cfg.design = p.design;
+            l1cfg.roundingMode = config.roundingMode;
+            l1cfg.lutSubBank = p.lutSubBank;
+            l1s[key] = std::make_unique<fpu::L1Fpu>(l1cfg);
+        }
+    }
+
+    std::vector<PhaseSimResult> results(points.size());
+    std::vector<std::unique_ptr<ClusterSim>> clusters;
+    for (size_t i = 0; i < points.size(); ++i) {
+        results[i].point = points[i];
+        ClusterConfig cc;
+        cc.coresPerFpu = points[i].coresPerFpu;
+        cc.miniShare = points[i].miniShare;
+        cc.interconnectOverride = points[i].interconnectOverride;
+        cc.l1.design = points[i].design;
+        cc.l1.roundingMode = config.roundingMode;
+        cc.l1.lutSubBank = points[i].lutSubBank;
+        cc.l1.memoFuzzyBits = points[i].memoFuzzyBits;
+        clusters.push_back(
+            std::make_unique<ClusterSim>(config.core, cc));
+    }
+
+    scen::Scenario scenario = scen::makeScenario(config.scenario);
+    TraceRecorder recorder;
+    ScopedRecording recording(*scenario.world, recorder);
+
+    for (int step = 0; step < config.steps; ++step) {
+        scenario.step();
+        StepTrace trace = recorder.takeStep();
+        const auto &units =
+            config.phase == fp::Phase::Narrow ? trace.narrow : trace.lcp;
+        if (units.empty())
+            continue;
+        // Classify once per distinct L1 config, stream to every
+        // cluster; service stats are taken from the clusters, which
+        // resolve the stateful memo designs per core.
+        std::map<L1Key, std::vector<ClassifiedUnit>> classified;
+        for (size_t i = 0; i < points.size(); ++i) {
+            const L1Key key = keyOf(points[i]);
+            auto it = classified.find(key);
+            if (it == classified.end()) {
+                it = classified
+                         .emplace(key, classifyUnits(units, *l1s[key]))
+                         .first;
+            }
+            clusters[i]->dispatchAll(it->second);
+        }
+    }
+    for (size_t i = 0; i < points.size(); ++i)
+        results[i].service = clusters[i]->serviceStats();
+
+    for (size_t i = 0; i < points.size(); ++i) {
+        const ClusterResult r = clusters[i]->result();
+        results[i].cycles = r.cycles;
+        results[i].instructions = r.instructions;
+        results[i].fpOps = r.fpOps;
+        results[i].units = r.units;
+        results[i].ipcPerCore = r.ipcPerCore(clusters[i]->cores());
+    }
+
+    ctx.reset();
+    return results;
+}
+
+} // namespace csim
+} // namespace hfpu

@@ -1,0 +1,68 @@
+#ifndef HFPU_CSIM_EXPERIMENT_H
+#define HFPU_CSIM_EXPERIMENT_H
+
+/**
+ * @file
+ * Experiment orchestration: run a scenario once under a precision
+ * profile while streaming its per-step work-unit traces through any
+ * number of cluster design points simultaneously (one classification
+ * and one cluster simulation per point). This is the engine behind the
+ * Table 8 / Figure 5 / Figure 7 / Figure 8 benches.
+ */
+
+#include <string>
+#include <vector>
+
+#include "csim/cluster.h"
+#include "csim/params.h"
+#include "csim/profile.h"
+#include "fpu/hfpu.h"
+
+namespace hfpu {
+namespace csim {
+
+/** What to simulate. */
+struct ExperimentConfig {
+    std::string scenario;
+    fp::Phase phase = fp::Phase::Lcp; //!< Narrow or Lcp
+    int steps = 60;                   //!< timing window length
+    PrecisionProfile profile;         //!< programmed minimum widths
+    fp::RoundingMode roundingMode = fp::RoundingMode::Jamming;
+    CoreParams core;
+};
+
+/** One cluster design point (a bar in Figures 5/7/8). */
+struct DesignPoint {
+    fpu::L1Design design = fpu::L1Design::Baseline;
+    int coresPerFpu = 1;
+    int miniShare = 1;
+    int interconnectOverride = -1; //!< Figure 8 sensitivity sweeps
+    /** Lookup-table effective-subtraction bank (ablation). */
+    bool lutSubBank = true;
+    /** Fuzzy memo tag width for the memo ablation design. */
+    int memoFuzzyBits = 23;
+};
+
+/** Per-design-point result. */
+struct PhaseSimResult {
+    DesignPoint point;
+    double ipcPerCore = 0.0;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t fpOps = 0;
+    uint64_t units = 0;
+    fpu::ServiceStats service;
+};
+
+/**
+ * Run @p config once and evaluate every design point on the same
+ * trace stream.
+ */
+std::vector<PhaseSimResult> runExperiment(
+    const ExperimentConfig &config,
+    const std::vector<DesignPoint> &points);
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_EXPERIMENT_H

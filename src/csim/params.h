@@ -1,0 +1,138 @@
+#ifndef HFPU_CSIM_PARAMS_H
+#define HFPU_CSIM_PARAMS_H
+
+/**
+ * @file
+ * Timing parameters of the fine-grain shader core (Table 6) and of the
+ * FPU-sharing cluster (Table 7), plus the per-phase dynamic
+ * floating-point instruction densities the paper measured for ODE
+ * (31% of dynamic instructions are FP in LCP, 13% in narrow-phase).
+ */
+
+#include "fp/types.h"
+#include "fpu/hfpu.h"
+
+namespace hfpu {
+namespace csim {
+
+/** Table 6: 1-wide, 5-stage, in-order core at 1 GHz, 90 nm. */
+struct CoreParams {
+    int fpAluLatency = 4;   //!< fpALU (add/sub)
+    int fpMulLatency = 4;   //!< fpMult
+    int fpDivLatency = 20;  //!< fpDiv (also used for fpSqrt)
+    int intAluLatency = 1;  //!< iALU
+
+    /**
+     * Extra stall cycles per non-FP instruction, modeling branch
+     * mispredictions (YAGS) and memory/load-use bubbles that a 1-wide
+     * in-order pipeline exposes. Applied deterministically: every
+     * `bubbleEvery`-th filler instruction costs `1 + bubbleCycles`
+     * cycles. Calibrated per phase against Table 8's per-core IPC
+     * anchors (0.293 LCP / 0.347 narrow-phase for the naked 4-way
+     * conjoined baseline, and the implied ~0.32 / ~0.36 unshared
+     * baselines from Figure 5's improvement construction): the
+     * resulting non-FP CPI is ~2.6-2.75, consistent with the paper's
+     * overall sub-0.4 IPC on these cores. Setting bubbleEvery to 0
+     * disables bubbles (hand-checkable timing in tests).
+     */
+    int bubbleEvery = 4;
+    int bubbleCycles = 7;
+    int narrowBubbleEvery = 5;
+    int narrowBubbleCycles = 8;
+
+    int
+    bubbleEveryFor(fp::Phase phase) const
+    {
+        return phase == fp::Phase::Narrow ? narrowBubbleEvery
+                                          : bubbleEvery;
+    }
+    int
+    bubbleCyclesFor(fp::Phase phase) const
+    {
+        return phase == fp::Phase::Narrow ? narrowBubbleCycles
+                                          : bubbleCycles;
+    }
+
+    /** Dynamic FP instruction density per phase (paper Section 4.1). */
+    double
+    fpDensity(fp::Phase phase) const
+    {
+        switch (phase) {
+          case fp::Phase::Lcp: return 0.31;
+          case fp::Phase::Narrow: return 0.13;
+          default: return 0.20;
+        }
+    }
+
+    /** Non-FP (filler) instructions accompanying each FP op. */
+    double
+    fillerPerFpOp(fp::Phase phase) const
+    {
+        const double d = fpDensity(phase);
+        return (1.0 - d) / d;
+    }
+
+    /** Latency of one FP opcode on the full FPU. */
+    int
+    fpLatency(fp::Opcode op) const
+    {
+        switch (op) {
+          case fp::Opcode::Add:
+          case fp::Opcode::Sub:
+            return fpAluLatency;
+          case fp::Opcode::Mul:
+            return fpMulLatency;
+          case fp::Opcode::Div:
+          case fp::Opcode::Sqrt:
+            return fpDivLatency;
+        }
+        return fpAluLatency;
+    }
+};
+
+/** One FPU-sharing cluster configuration (a point in Figures 5/7). */
+struct ClusterConfig {
+    /** Cores sharing one full-precision L2 FPU (1 = private). */
+    int coresPerFpu = 1;
+    /** L1 FPU design at each core. */
+    fpu::L1Config l1;
+    /** Cores sharing one mini-FPU (mini designs only; 1 = private). */
+    int miniShare = 1;
+    /**
+     * Override the Table 7 interconnect overhead (cycles each way);
+     * -1 derives it from coresPerFpu. Used by the Figure 8 latency
+     * sensitivity sweep.
+     */
+    int interconnectOverride = -1;
+
+    /** Table 7 interconnect overhead for a sharing degree. */
+    static int
+    interconnectCycles(int cores_per_fpu)
+    {
+        if (cores_per_fpu <= 2)
+            return 0;
+        if (cores_per_fpu <= 4)
+            return 1;
+        return 2;
+    }
+
+    int
+    interconnect() const
+    {
+        return interconnectOverride >= 0
+            ? interconnectOverride
+            : interconnectCycles(coresPerFpu);
+    }
+
+    /** Latency in cycles of the trivialization / lookup-table path. */
+    static constexpr int kLocalLatency = 1;
+    /** Latency in cycles of a mini-FPU operation. */
+    static constexpr int kMiniLatency = 3;
+    /** Width of the non-pipelined-op scheduling window (divides). */
+    static constexpr int kDivideWindow = 3;
+};
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_PARAMS_H

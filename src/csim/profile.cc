@@ -1,0 +1,53 @@
+#include "csim/profile.h"
+
+namespace hfpu {
+namespace csim {
+
+PrecisionProfile
+paperJammingProfile(const std::string &scenario)
+{
+    // Table 1, jamming column: {co-tuned narrow-phase, LCP}.
+    if (scenario == "Breakable")
+        return {21, 17};
+    if (scenario == "Continuous")
+        return {9, 4};
+    if (scenario == "Deformable")
+        return {9, 4};
+    if (scenario == "Everything")
+        return {17, 10};
+    if (scenario == "Explosions")
+        return {14, 13};
+    if (scenario == "Highspeed")
+        return {9, 3};
+    if (scenario == "Periodic")
+        return {23, 14};
+    if (scenario == "Ragdoll")
+        return {21, 5};
+    return {23, 23};
+}
+
+int
+paperRoundToNearestLcpBits(const std::string &scenario)
+{
+    // Table 1, round-to-nearest column, LCP.
+    if (scenario == "Breakable")
+        return 8;
+    if (scenario == "Continuous")
+        return 4;
+    if (scenario == "Deformable")
+        return 3;
+    if (scenario == "Everything")
+        return 10;
+    if (scenario == "Explosions")
+        return 11;
+    if (scenario == "Highspeed")
+        return 3;
+    if (scenario == "Periodic")
+        return 13;
+    if (scenario == "Ragdoll")
+        return 5;
+    return 23;
+}
+
+} // namespace csim
+} // namespace hfpu

@@ -1,0 +1,41 @@
+#ifndef HFPU_CSIM_PROFILE_H
+#define HFPU_CSIM_PROFILE_H
+
+/**
+ * @file
+ * Per-scenario precision profiles: the "developer-programmed" minimum
+ * mantissa widths of the paper's HW/SW co-design. The defaults are the
+ * paper's Table 1 jamming values (LCP minimum, and the co-tuned
+ * narrow-phase minimum from the parenthesized column); the Table 1
+ * bench regenerates our own measured minima for comparison, and
+ * profiles can be overridden for sensitivity studies.
+ */
+
+#include <string>
+
+namespace hfpu {
+namespace csim {
+
+/** Programmed minimum widths for one scenario. */
+struct PrecisionProfile {
+    int narrowBits = 23;
+    int lcpBits = 23;
+};
+
+/**
+ * The paper's Table 1 jamming profile for a scenario name
+ * (co-tuned narrow-phase width; LCP at its independent minimum).
+ * Unknown names return full precision.
+ */
+PrecisionProfile paperJammingProfile(const std::string &scenario);
+
+/**
+ * The paper's Table 1 round-to-nearest LCP minima, used by the Table 4
+ * reproduction (which the paper ran with round-to-nearest).
+ */
+int paperRoundToNearestLcpBits(const std::string &scenario);
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_PROFILE_H

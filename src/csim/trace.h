@@ -1,0 +1,147 @@
+#ifndef HFPU_CSIM_TRACE_H
+#define HFPU_CSIM_TRACE_H
+
+/**
+ * @file
+ * Dynamic-operation trace capture from the physics engine. SESC ran
+ * MIPS binaries; our substitute records the engine's FP operation
+ * stream per *work unit* — an object pair in the narrow phase, one
+ * island iteration in the LCP phase — with real operand bit patterns,
+ * so every L1 FPU mechanism (trivialization, lookup, mini-FPU) acts on
+ * exactly the values the hardware would see. Non-FP instructions are
+ * added synthetically at the paper's measured per-phase FP densities.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "fp/precision.h"
+#include "phys/world.h"
+
+namespace hfpu {
+namespace csim {
+
+/** One recorded FP operation. */
+struct TraceOp {
+    uint32_t a;
+    uint32_t b;
+    fp::Opcode op;
+    uint8_t bits; //!< active mantissa width (23 = full)
+};
+
+/** One work unit: the FP ops of one pair / island-iteration. */
+struct WorkUnit {
+    fp::Phase phase = fp::Phase::Other;
+    std::vector<TraceOp> ops;
+};
+
+/** All work units captured for one simulation step, per phase. */
+struct StepTrace {
+    std::vector<WorkUnit> narrow;
+    std::vector<WorkUnit> lcp;
+
+    uint64_t
+    fpOps(fp::Phase phase) const
+    {
+        uint64_t n = 0;
+        for (const auto &u : phase == fp::Phase::Narrow ? narrow : lcp)
+            n += u.ops.size();
+        return n;
+    }
+
+    void
+    clear()
+    {
+        narrow.clear();
+        lcp.clear();
+    }
+};
+
+/**
+ * Recorder bridging the engine to the trace format: plugs into the
+ * PrecisionContext as the op observer and into the World as the
+ * work-unit listener. Only ops inside a narrow/LCP work unit are
+ * captured.
+ */
+class TraceRecorder : public fp::OpRecorder, public phys::WorkUnitListener
+{
+  public:
+    void
+    record(const fp::OpRecord &rec) override
+    {
+        if (!inUnit_ || rec.phase != current_.phase)
+            return;
+        current_.ops.push_back(
+            TraceOp{rec.a, rec.b, rec.op, rec.mantissaBits});
+    }
+
+    void
+    beginUnit(fp::Phase phase, int index) override
+    {
+        (void)index;
+        inUnit_ = true;
+        current_.phase = phase;
+        current_.ops.clear();
+    }
+
+    void
+    endUnit() override
+    {
+        if (!inUnit_)
+            return;
+        inUnit_ = false;
+        if (current_.ops.empty())
+            return;
+        if (current_.phase == fp::Phase::Narrow)
+            step_.narrow.push_back(current_);
+        else if (current_.phase == fp::Phase::Lcp)
+            step_.lcp.push_back(current_);
+    }
+
+    /** Take (move out) and reset the current step's trace. */
+    StepTrace
+    takeStep()
+    {
+        StepTrace out = std::move(step_);
+        step_ = StepTrace{};
+        return out;
+    }
+
+    const StepTrace &currentStep() const { return step_; }
+
+  private:
+    StepTrace step_;
+    WorkUnit current_;
+    bool inUnit_ = false;
+};
+
+/**
+ * RAII installation of a recorder into the thread context and a world.
+ */
+class ScopedRecording
+{
+  public:
+    ScopedRecording(phys::World &world, TraceRecorder &recorder)
+        : world_(world)
+    {
+        fp::PrecisionContext::current().setRecorder(&recorder);
+        world_.setWorkUnitListener(&recorder);
+    }
+
+    ~ScopedRecording()
+    {
+        fp::PrecisionContext::current().setRecorder(nullptr);
+        world_.setWorkUnitListener(nullptr);
+    }
+
+    ScopedRecording(const ScopedRecording &) = delete;
+    ScopedRecording &operator=(const ScopedRecording &) = delete;
+
+  private:
+    phys::World &world_;
+};
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_TRACE_H

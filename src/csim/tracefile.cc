@@ -1,0 +1,160 @@
+#include "csim/tracefile.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "csim/profile.h"
+#include "fp/precision.h"
+#include "scen/scenario.h"
+
+namespace hfpu {
+namespace csim {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x48465054u; // 'HFPT'
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeRaw(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readRaw(std::istream &in)
+{
+    T value;
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!in)
+        throw std::runtime_error("trace file truncated");
+    return value;
+}
+
+void
+writeUnits(std::ostream &out, const std::vector<WorkUnit> &units)
+{
+    for (const WorkUnit &unit : units) {
+        writeRaw<uint8_t>(out, static_cast<uint8_t>(unit.phase));
+        writeRaw<uint32_t>(out, static_cast<uint32_t>(unit.ops.size()));
+        for (const TraceOp &op : unit.ops) {
+            writeRaw<uint8_t>(out, static_cast<uint8_t>(op.op));
+            writeRaw<uint8_t>(out, op.bits);
+            writeRaw<uint32_t>(out, op.a);
+            writeRaw<uint32_t>(out, op.b);
+        }
+    }
+}
+
+std::vector<WorkUnit>
+readUnits(std::istream &in, uint32_t count)
+{
+    std::vector<WorkUnit> units(count);
+    for (WorkUnit &unit : units) {
+        const auto phase = readRaw<uint8_t>(in);
+        if (phase >= fp::kNumPhases)
+            throw std::runtime_error("trace file corrupt: bad phase");
+        unit.phase = static_cast<fp::Phase>(phase);
+        const auto ops = readRaw<uint32_t>(in);
+        unit.ops.resize(ops);
+        for (TraceOp &op : unit.ops) {
+            const auto opcode = readRaw<uint8_t>(in);
+            if (opcode >= fp::kNumOpcodes)
+                throw std::runtime_error(
+                    "trace file corrupt: bad opcode");
+            op.op = static_cast<fp::Opcode>(opcode);
+            op.bits = readRaw<uint8_t>(in);
+            op.a = readRaw<uint32_t>(in);
+            op.b = readRaw<uint32_t>(in);
+        }
+    }
+    return units;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &out, const std::vector<StepTrace> &steps)
+{
+    writeRaw<uint32_t>(out, kMagic);
+    writeRaw<uint32_t>(out, kVersion);
+    writeRaw<uint64_t>(out, steps.size());
+    for (const StepTrace &step : steps) {
+        writeRaw<uint32_t>(out, static_cast<uint32_t>(step.narrow.size()));
+        writeRaw<uint32_t>(out, static_cast<uint32_t>(step.lcp.size()));
+        writeUnits(out, step.narrow);
+        writeUnits(out, step.lcp);
+    }
+}
+
+std::vector<StepTrace>
+readTrace(std::istream &in)
+{
+    if (readRaw<uint32_t>(in) != kMagic)
+        throw std::runtime_error("not a trace file (bad magic)");
+    if (readRaw<uint32_t>(in) != kVersion)
+        throw std::runtime_error("unsupported trace file version");
+    const auto steps = readRaw<uint64_t>(in);
+    std::vector<StepTrace> out(steps);
+    for (StepTrace &step : out) {
+        const auto narrow = readRaw<uint32_t>(in);
+        const auto lcp = readRaw<uint32_t>(in);
+        step.narrow = readUnits(in, narrow);
+        step.lcp = readUnits(in, lcp);
+    }
+    return out;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<StepTrace> &steps)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open for writing: " + path);
+    writeTrace(out, steps);
+    if (!out)
+        throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<StepTrace>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open: " + path);
+    return readTrace(in);
+}
+
+std::vector<StepTrace>
+recordScenarioTrace(const std::string &scenario_name, int steps,
+                    const PrecisionProfile &profile,
+                    fp::RoundingMode mode)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    ctx.setRoundingMode(mode);
+    ctx.setMantissaBits(fp::Phase::Narrow, profile.narrowBits);
+    ctx.setMantissaBits(fp::Phase::Lcp, profile.lcpBits);
+
+    scen::Scenario scenario = scen::makeScenario(scenario_name);
+    TraceRecorder recorder;
+    std::vector<StepTrace> out;
+    out.reserve(steps);
+    {
+        ScopedRecording recording(*scenario.world, recorder);
+        for (int i = 0; i < steps; ++i) {
+            scenario.step();
+            out.push_back(recorder.takeStep());
+        }
+    }
+    ctx.reset();
+    return out;
+}
+
+} // namespace csim
+} // namespace hfpu

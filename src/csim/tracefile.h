@@ -1,0 +1,55 @@
+#ifndef HFPU_CSIM_TRACEFILE_H
+#define HFPU_CSIM_TRACEFILE_H
+
+/**
+ * @file
+ * Binary serialization of work-unit traces, so an expensive engine run
+ * can be recorded once and replayed through any number of cluster
+ * configurations offline (the record/replay split SESC users rely on).
+ *
+ * Format (little-endian):
+ *   u32 magic 'HFPT', u32 version,
+ *   u64 step count, then per step:
+ *     u32 narrow-unit count, u32 lcp-unit count, then per unit:
+ *       u8 phase, u32 op count, then per op:
+ *         u8 opcode, u8 mantissa bits, u32 a, u32 b
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "csim/profile.h"
+#include "csim/trace.h"
+
+namespace hfpu {
+namespace csim {
+
+/** Serialize a recorded run (one StepTrace per step). */
+void writeTrace(std::ostream &out,
+                const std::vector<StepTrace> &steps);
+
+/**
+ * Deserialize a recorded run.
+ * @throws std::runtime_error on a malformed or truncated stream.
+ */
+std::vector<StepTrace> readTrace(std::istream &in);
+
+/** File convenience wrappers (throw std::runtime_error on IO error). */
+void saveTrace(const std::string &path,
+               const std::vector<StepTrace> &steps);
+std::vector<StepTrace> loadTrace(const std::string &path);
+
+/**
+ * Record a scenario's trace: runs @p steps steps under the given
+ * precision profile and returns one StepTrace per step.
+ */
+std::vector<StepTrace> recordScenarioTrace(
+    const std::string &scenario, int steps,
+    const PrecisionProfile &profile,
+    fp::RoundingMode mode = fp::RoundingMode::Jamming);
+
+} // namespace csim
+} // namespace hfpu
+
+#endif // HFPU_CSIM_TRACEFILE_H

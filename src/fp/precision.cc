@@ -1,0 +1,167 @@
+#include "precision.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "softfloat.h"
+
+namespace hfpu {
+namespace fp {
+
+PrecisionContext::PrecisionContext()
+{
+    reset();
+}
+
+PrecisionContext &
+PrecisionContext::current()
+{
+    static thread_local PrecisionContext ctx;
+    return ctx;
+}
+
+void
+PrecisionContext::setMantissaBits(Phase phase, int bits)
+{
+    assert(bits >= 0 && bits <= kFullMantissaBits);
+    mantissaBits_[static_cast<int>(phase)] = bits;
+}
+
+void
+PrecisionContext::setAllMantissaBits(int bits)
+{
+    assert(bits >= 0 && bits <= kFullMantissaBits);
+    mantissaBits_.fill(bits);
+}
+
+uint64_t
+PrecisionContext::totalOpCount() const
+{
+    return std::accumulate(opCounts_.begin(), opCounts_.end(),
+                           uint64_t(0));
+}
+
+void
+PrecisionContext::resetCounts()
+{
+    opCounts_.fill(0);
+}
+
+void
+PrecisionContext::reset()
+{
+    mantissaBits_.fill(kFullMantissaBits);
+    opCounts_.fill(0);
+    roundingMode_ = RoundingMode::Jamming;
+    phase_ = Phase::Other;
+    recorder_ = nullptr;
+    useSoftFloat_ = false;
+}
+
+ScopedFullPrecision::ScopedFullPrecision()
+    : ctx_(PrecisionContext::current())
+{
+    for (int p = 0; p < kNumPhases; ++p) {
+        saved_[p] = ctx_.mantissaBits(static_cast<Phase>(p));
+        ctx_.setMantissaBits(static_cast<Phase>(p), kFullMantissaBits);
+    }
+}
+
+ScopedFullPrecision::~ScopedFullPrecision()
+{
+    for (int p = 0; p < kNumPhases; ++p)
+        ctx_.setMantissaBits(static_cast<Phase>(p), saved_[p]);
+}
+
+namespace {
+
+/** Host-FPU exact binary32 execution. */
+uint32_t
+hostExecuteBits(Opcode op, uint32_t a, uint32_t b)
+{
+    const float fa = floatFromBits(a);
+    const float fb = floatFromBits(b);
+    float r = 0.0f;
+    switch (op) {
+      case Opcode::Add: r = fa + fb; break;
+      case Opcode::Sub: r = fa - fb; break;
+      case Opcode::Mul: r = fa * fb; break;
+      case Opcode::Div: r = fa / fb; break;
+      case Opcode::Sqrt: r = std::sqrt(fa); break;
+    }
+    return floatBits(r);
+}
+
+/** True for the opcodes the paper precision-reduces. */
+bool
+isReducible(Opcode op)
+{
+    return op == Opcode::Add || op == Opcode::Sub || op == Opcode::Mul;
+}
+
+/**
+ * The reduce -> execute -> reduce pipeline shared by all scalar ops.
+ */
+float
+executeScalar(Opcode op, float fa, float fb)
+{
+    PrecisionContext &ctx = PrecisionContext::current();
+    ctx.countOp(op);
+
+    uint32_t a = floatBits(fa);
+    uint32_t b = floatBits(fb);
+    const int bits = ctx.activeBits();
+    const bool reduce_op = bits < kFullMantissaBits && isReducible(op);
+    if (reduce_op) {
+        a = reduceMantissa(a, bits, ctx.roundingMode());
+        b = reduceMantissa(b, bits, ctx.roundingMode());
+    }
+    uint32_t r = ctx.useSoftFloat() ? soft::executeBits(op, a, b)
+                                    : hostExecuteBits(op, a, b);
+    if (reduce_op)
+        r = reduceMantissa(r, bits, ctx.roundingMode());
+
+    if (OpRecorder *rec = ctx.recorder()) {
+        rec->record(OpRecord{op, ctx.phase(),
+                             static_cast<uint8_t>(reduce_op ?
+                                 bits : kFullMantissaBits),
+                             a, b, r});
+    }
+    return floatFromBits(r);
+}
+
+} // namespace
+
+float
+fadd(float a, float b)
+{
+    return executeScalar(Opcode::Add, a, b);
+}
+
+float
+fsub(float a, float b)
+{
+    return executeScalar(Opcode::Sub, a, b);
+}
+
+float
+fmul(float a, float b)
+{
+    return executeScalar(Opcode::Mul, a, b);
+}
+
+float
+fdiv(float a, float b)
+{
+    return executeScalar(Opcode::Div, a, b);
+}
+
+float
+fsqrt(float a)
+{
+    return executeScalar(Opcode::Sqrt, a, 0.0f);
+}
+
+} // namespace fp
+} // namespace hfpu

@@ -1,0 +1,189 @@
+#ifndef HFPU_FP_PRECISION_H
+#define HFPU_FP_PRECISION_H
+
+/**
+ * @file
+ * The dynamic precision-reduction plumbing. All floating-point
+ * arithmetic in the physics engine goes through the scalar functions
+ * declared here (fadd/fsub/fmul/fdiv/fsqrt); they consult a thread-local
+ * PrecisionContext that carries the current pipeline phase, the
+ * per-phase mantissa width, the rounding mode, and an optional recorder
+ * that observes every dynamic FP operation (used to gather triviality /
+ * memoization statistics and to build traces for the cycle simulator).
+ *
+ * This mirrors the paper's SESC modification: a reduced operation is
+ * modeled as round(operands) -> execute -> round(result). Following the
+ * paper, only add, subtract, and multiply are precision reduced; divide
+ * (and sqrt) always run at full precision.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "rounding.h"
+#include "types.h"
+
+namespace hfpu {
+namespace fp {
+
+/** One dynamic FP operation as seen by the execution substrate. */
+struct OpRecord {
+    Opcode op;          //!< operation kind
+    Phase phase;        //!< pipeline phase it executed in
+    uint8_t mantissaBits; //!< active precision (23 = full)
+    uint32_t a;         //!< first operand, post-reduction bit pattern
+    uint32_t b;         //!< second operand, post-reduction bit pattern
+    uint32_t result;    //!< result, post-reduction bit pattern
+};
+
+/**
+ * Observer of dynamic FP operations. Implementations must be cheap:
+ * the recorder sits on the hot path of the physics engine.
+ */
+class OpRecorder
+{
+  public:
+    virtual ~OpRecorder() = default;
+
+    /** Called once per dynamic FP operation. */
+    virtual void record(const OpRecord &rec) = 0;
+};
+
+/**
+ * Thread-local floating-point execution state.
+ *
+ * The software side of the paper's HW/SW co-design: the application
+ * sets the minimum mantissa width per instruction region (here: per
+ * phase) in a control register; the hardware applies it. The dynamic
+ * precision controller (phys::PrecisionController) adjusts the active
+ * width between the programmed minimum and full precision based on the
+ * simulation-energy rule.
+ */
+class PrecisionContext
+{
+  public:
+    PrecisionContext();
+
+    /** The calling thread's context. */
+    static PrecisionContext &current();
+
+    /** Active mantissa width for @p phase. */
+    int mantissaBits(Phase phase) const
+    {
+        return mantissaBits_[static_cast<int>(phase)];
+    }
+
+    /** Set the mantissa width for one phase. */
+    void setMantissaBits(Phase phase, int bits);
+
+    /** Set the mantissa width for every phase. */
+    void setAllMantissaBits(int bits);
+
+    /** Active rounding mode for reductions. */
+    RoundingMode roundingMode() const { return roundingMode_; }
+    void setRoundingMode(RoundingMode mode) { roundingMode_ = mode; }
+
+    /** Current pipeline phase. */
+    Phase phase() const { return phase_; }
+    void setPhase(Phase phase) { phase_ = phase; }
+
+    /** Optional dynamic-op observer (nullptr = none). */
+    OpRecorder *recorder() const { return recorder_; }
+    void setRecorder(OpRecorder *recorder) { recorder_ = recorder; }
+
+    /**
+     * When set, exact execution uses the project's soft-float instead of
+     * the host FPU (they are tested to agree bit-exactly; the switch
+     * exists for cross-checking).
+     */
+    bool useSoftFloat() const { return useSoftFloat_; }
+    void setUseSoftFloat(bool use) { useSoftFloat_ = use; }
+
+    /** Dynamic FP operation counts by opcode (since last reset). */
+    uint64_t opCount(Opcode op) const
+    {
+        return opCounts_[static_cast<int>(op)];
+    }
+    uint64_t totalOpCount() const;
+    void resetCounts();
+
+    /** Restore defaults: full precision, jamming, no recorder. */
+    void reset();
+
+    /** @name Hot-path helpers used by the scalar ops. */
+    /** @{ */
+    int activeBits() const
+    {
+        return mantissaBits_[static_cast<int>(phase_)];
+    }
+    void
+    countOp(Opcode op)
+    {
+        ++opCounts_[static_cast<int>(op)];
+    }
+    /** @} */
+
+  private:
+    std::array<int, kNumPhases> mantissaBits_;
+    std::array<uint64_t, kNumOpcodes> opCounts_;
+    RoundingMode roundingMode_;
+    Phase phase_;
+    OpRecorder *recorder_;
+    bool useSoftFloat_;
+};
+
+/**
+ * RAII phase scope: tags all FP ops inside the scope with @p phase.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase phase)
+        : ctx_(PrecisionContext::current()), saved_(ctx_.phase())
+    {
+        ctx_.setPhase(phase);
+    }
+    ~ScopedPhase() { ctx_.setPhase(saved_); }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PrecisionContext &ctx_;
+    Phase saved_;
+};
+
+/**
+ * RAII full-precision scope: forces 23-bit execution inside the scope
+ * (used e.g. by the energy monitor, which must not be degraded by the
+ * precision it is guarding).
+ */
+class ScopedFullPrecision
+{
+  public:
+    ScopedFullPrecision();
+    ~ScopedFullPrecision();
+
+    ScopedFullPrecision(const ScopedFullPrecision &) = delete;
+    ScopedFullPrecision &operator=(const ScopedFullPrecision &) = delete;
+
+  private:
+    PrecisionContext &ctx_;
+    std::array<int, kNumPhases> saved_;
+};
+
+/** @name Precision-aware scalar operations.
+ * The only arithmetic entry points the engine uses.
+ */
+/** @{ */
+float fadd(float a, float b);
+float fsub(float a, float b);
+float fmul(float a, float b);
+float fdiv(float a, float b);
+float fsqrt(float a);
+/** @} */
+
+} // namespace fp
+} // namespace hfpu
+
+#endif // HFPU_FP_PRECISION_H

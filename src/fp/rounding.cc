@@ -1,0 +1,80 @@
+#include "rounding.h"
+
+#include <cassert>
+
+namespace hfpu {
+namespace fp {
+
+uint32_t
+reduceMantissa(uint32_t bits, int keep_bits, RoundingMode mode)
+{
+    assert(keep_bits >= 0 && keep_bits <= kFullMantissaBits);
+    if (keep_bits == kFullMantissaBits)
+        return bits;
+    if (isNaNBits(bits) || isInfBits(bits) || isZeroBits(bits) ||
+        isDenormalBits(bits)) {
+        return bits;
+    }
+
+    const int drop = kFullMantissaBits - keep_bits;
+    const uint32_t sign = signOf(bits);
+    uint32_t exponent = exponentOf(bits);
+    uint32_t fraction = fractionOf(bits);
+    const uint32_t dropped = fraction & ((1u << drop) - 1);
+
+    switch (mode) {
+      case RoundingMode::Truncation:
+        fraction &= ~((1u << drop) - 1);
+        break;
+      case RoundingMode::RoundToNearest: {
+        // Round to nearest, ties to even, with carry into the exponent.
+        uint32_t sig = (1u << kFullMantissaBits) | fraction;
+        uint32_t kept = sig >> drop;
+        const uint32_t half = 1u << (drop - 1);
+        if (dropped > half || (dropped == half && (kept & 1)))
+            ++kept;
+        sig = kept << drop;
+        if (sig >= (2u << kFullMantissaBits)) {
+            sig >>= 1;
+            ++exponent;
+            if (exponent >= kExpMask)
+                return packFloat(sign, kExpMask, 0); // overflow to inf
+        }
+        fraction = sig & kFracMask;
+        break;
+      }
+      case RoundingMode::Jamming: {
+        // OR the retained LSB with the top three dropped bits.
+        const int guards = drop < 3 ? drop : 3;
+        const uint32_t guard_bits = (dropped >> (drop - guards)) &
+            ((1u << guards) - 1);
+        fraction &= ~((1u << drop) - 1);
+        if (keep_bits > 0 && guard_bits != 0)
+            fraction |= 1u << drop;
+        break;
+      }
+    }
+    return packFloat(sign, exponent, fraction);
+}
+
+float
+reduce(float value, int keep_bits, RoundingMode mode)
+{
+    return floatFromBits(reduceMantissa(floatBits(value), keep_bits, mode));
+}
+
+bool
+fitsInMantissa(uint32_t bits, int keep_bits)
+{
+    if (keep_bits >= kFullMantissaBits)
+        return true;
+    if (isNaNBits(bits) || isInfBits(bits) || isZeroBits(bits) ||
+        isDenormalBits(bits)) {
+        return true;
+    }
+    const int drop = kFullMantissaBits - keep_bits;
+    return (fractionOf(bits) & ((1u << drop) - 1)) == 0;
+}
+
+} // namespace fp
+} // namespace hfpu

@@ -1,0 +1,53 @@
+#ifndef HFPU_FP_ROUNDING_H
+#define HFPU_FP_ROUNDING_H
+
+/**
+ * @file
+ * Mantissa reduction: discard low-order fraction bits of a binary32
+ * value under one of the paper's three rounding modes. This is the
+ * primitive behind "precision reduction": the paper models a reduced
+ * operation as round(operands) -> execute -> round(result).
+ */
+
+#include <cstdint>
+
+#include "types.h"
+
+namespace hfpu {
+namespace fp {
+
+/**
+ * Reduce the mantissa of @p bits to @p keep_bits fraction bits using
+ * @p mode.
+ *
+ * Semantics (matching Section 4.1 of the paper):
+ *  - keep_bits == 23 is the identity.
+ *  - NaN, infinity, zero and denormal inputs pass through unchanged
+ *    ("denormal handling remains unchanged").
+ *  - RoundToNearest rounds to nearest, ties to even, and may carry into
+ *    the exponent (up to infinity on overflow).
+ *  - Truncation clears the dropped bits (round toward zero).
+ *  - Jamming ORs the retained LSB with the top three dropped (guard)
+ *    bits and stores the result in the LSB; dropped bits below the
+ *    three guards are ignored, making the logic trivially cheap.
+ *
+ * @param bits      binary32 bit pattern to reduce.
+ * @param keep_bits number of fraction bits to retain, in [0, 23].
+ * @param mode      rounding mode.
+ * @return the reduced bit pattern.
+ */
+uint32_t reduceMantissa(uint32_t bits, int keep_bits, RoundingMode mode);
+
+/** Float convenience wrapper around reduceMantissa(). */
+float reduce(float value, int keep_bits, RoundingMode mode);
+
+/**
+ * True if the value's fraction is representable in @p keep_bits bits,
+ * i.e. reduction at that width would not change it.
+ */
+bool fitsInMantissa(uint32_t bits, int keep_bits);
+
+} // namespace fp
+} // namespace hfpu
+
+#endif // HFPU_FP_ROUNDING_H

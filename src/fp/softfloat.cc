@@ -1,0 +1,346 @@
+#include "softfloat.h"
+
+#include <cassert>
+
+#include "rounding.h"
+
+namespace hfpu {
+namespace fp {
+namespace soft {
+
+namespace {
+
+constexpr uint32_t kQuietNaN = 0x7fc00000u;
+
+// Working significands carry the implicit leading one at bit 23 and six
+// guard/round/sticky bits below (as in Berkeley softfloat: enough that a
+// one-position normalizing left shift after subtraction cannot promote
+// the sticky bit into the round position), so a normalized value has its
+// leading one at bit 29.
+constexpr int kGrsBits = 6;
+constexpr uint64_t kNormBit = 1ull << (kFullMantissaBits + kGrsBits);
+
+/**
+ * Shift @p sig right by @p count, ORing any shifted-out bits into the
+ * lowest retained bit (sticky).
+ */
+uint64_t
+shiftRightSticky(uint64_t sig, int count)
+{
+    if (count <= 0)
+        return sig;
+    if (count >= 63)
+        return sig != 0 ? 1 : 0;
+    const uint64_t shifted = sig >> count;
+    const uint64_t lost = sig & ((1ull << count) - 1);
+    return shifted | (lost != 0 ? 1 : 0);
+}
+
+/**
+ * Round (nearest-even) a significand whose low three bits are GRS and
+ * pack the result. Expects @p exp >= 1; a significand below the
+ * normalized range at exp == 1 packs as a denormal.
+ */
+uint32_t
+roundPack(uint32_t sign, int exp, uint64_t sig)
+{
+    assert(exp >= 1);
+    const uint64_t grs_mask = (1ull << kGrsBits) - 1;
+    const uint64_t half = 1ull << (kGrsBits - 1);
+    const uint64_t grs = sig & grs_mask;
+    sig >>= kGrsBits;
+    if (grs > half || (grs == half && (sig & 1)))
+        ++sig;
+    if (sig >= (2ull << kFullMantissaBits)) {
+        sig >>= 1;
+        ++exp;
+    }
+    if (exp >= static_cast<int>(kExpMask))
+        return packFloat(sign, kExpMask, 0); // overflow -> infinity
+    if (sig < (1ull << kFullMantissaBits)) {
+        // Denormal (or zero) result; representable only with exp == 1.
+        assert(exp == 1);
+        return packFloat(sign, 0, static_cast<uint32_t>(sig));
+    }
+    return packFloat(sign, exp, static_cast<uint32_t>(sig) & kFracMask);
+}
+
+/**
+ * Unpack a finite nonzero operand into (exponent, significand) where
+ * the significand has its implicit bit at position 23 for normals; a
+ * denormal is normalized by left-shifting and decrementing exp below 1.
+ */
+void
+unpackFinite(uint32_t bits, int &exp, uint32_t &sig)
+{
+    const uint32_t e = exponentOf(bits);
+    uint32_t frac = fractionOf(bits);
+    if (e == 0) {
+        // Denormal: normalize.
+        exp = 1;
+        sig = frac;
+        while (sig < (1u << kFullMantissaBits)) {
+            sig <<= 1;
+            --exp;
+        }
+    } else {
+        exp = static_cast<int>(e);
+        sig = (1u << kFullMantissaBits) | frac;
+    }
+}
+
+/** Effective (sign-aware) addition of two finite nonzero operands. */
+uint32_t
+addFinite(uint32_t a, uint32_t b)
+{
+    int exp_a, exp_b;
+    uint32_t sig_a32, sig_b32;
+    unpackFinite(a, exp_a, sig_a32);
+    unpackFinite(b, exp_b, sig_b32);
+    uint64_t sig_a = static_cast<uint64_t>(sig_a32) << kGrsBits;
+    uint64_t sig_b = static_cast<uint64_t>(sig_b32) << kGrsBits;
+    const uint32_t sign_a = signOf(a);
+    const uint32_t sign_b = signOf(b);
+
+    // Align to the larger exponent.
+    int exp = exp_a;
+    if (exp_a >= exp_b) {
+        sig_b = shiftRightSticky(sig_b, exp_a - exp_b);
+    } else {
+        exp = exp_b;
+        sig_a = shiftRightSticky(sig_a, exp_b - exp_a);
+    }
+
+    uint32_t sign;
+    uint64_t sig;
+    if (sign_a == sign_b) {
+        sign = sign_a;
+        sig = sig_a + sig_b;
+        if (sig >= (kNormBit << 1)) {
+            sig = shiftRightSticky(sig, 1);
+            ++exp;
+        }
+    } else {
+        // Magnitude subtraction.
+        if (sig_a == sig_b)
+            return packFloat(0, 0, 0); // exact cancellation -> +0
+        if (sig_a > sig_b) {
+            sign = sign_a;
+            sig = sig_a - sig_b;
+        } else {
+            sign = sign_b;
+            sig = sig_b - sig_a;
+        }
+        // Normalize left, stopping at the denormal boundary.
+        while (sig < kNormBit && exp > 1) {
+            sig <<= 1;
+            --exp;
+        }
+    }
+    // A result that underflowed the exponent during alignment cannot
+    // occur: exp is the max of two exponents >= the denormal floor.
+    if (exp < 1) {
+        sig = shiftRightSticky(sig, 1 - exp);
+        exp = 1;
+    }
+    return roundPack(sign, exp, sig);
+}
+
+} // namespace
+
+uint32_t
+addBits(uint32_t a, uint32_t b)
+{
+    if (isNaNBits(a) || isNaNBits(b))
+        return kQuietNaN;
+    if (isInfBits(a) || isInfBits(b)) {
+        if (isInfBits(a) && isInfBits(b) && signOf(a) != signOf(b))
+            return kQuietNaN; // inf - inf
+        return isInfBits(a) ? a : b;
+    }
+    if (isZeroBits(a) && isZeroBits(b)) {
+        // +0 + -0 = +0 under round-to-nearest; like signs keep the sign.
+        return signOf(a) == signOf(b) ? a : packFloat(0, 0, 0);
+    }
+    if (isZeroBits(a))
+        return b;
+    if (isZeroBits(b))
+        return a;
+    return addFinite(a, b);
+}
+
+uint32_t
+subBits(uint32_t a, uint32_t b)
+{
+    return addBits(a, b ^ 0x80000000u);
+}
+
+uint32_t
+mulBits(uint32_t a, uint32_t b)
+{
+    const uint32_t sign = signOf(a) ^ signOf(b);
+    if (isNaNBits(a) || isNaNBits(b))
+        return kQuietNaN;
+    if (isInfBits(a) || isInfBits(b)) {
+        if (isZeroBits(a) || isZeroBits(b))
+            return kQuietNaN; // inf * 0
+        return packFloat(sign, kExpMask, 0);
+    }
+    if (isZeroBits(a) || isZeroBits(b))
+        return packFloat(sign, 0, 0);
+
+    int exp_a, exp_b;
+    uint32_t sig_a, sig_b;
+    unpackFinite(a, exp_a, sig_a);
+    unpackFinite(b, exp_b, sig_b);
+
+    int exp = exp_a + exp_b - kExponentBias;
+    // 24x24 -> 47- or 48-bit product.
+    uint64_t prod = static_cast<uint64_t>(sig_a) * sig_b;
+    int shift = 2 * kFullMantissaBits - (kFullMantissaBits + kGrsBits);
+    if (prod & (1ull << (2 * kFullMantissaBits + 1))) {
+        ++shift;
+        ++exp;
+    }
+    uint64_t sig = shiftRightSticky(prod, shift);
+    if (exp < 1) {
+        sig = shiftRightSticky(sig, 1 - exp);
+        exp = 1;
+    }
+    return roundPack(sign, exp, sig);
+}
+
+uint32_t
+divBits(uint32_t a, uint32_t b)
+{
+    const uint32_t sign = signOf(a) ^ signOf(b);
+    if (isNaNBits(a) || isNaNBits(b))
+        return kQuietNaN;
+    if (isInfBits(a)) {
+        if (isInfBits(b))
+            return kQuietNaN; // inf / inf
+        return packFloat(sign, kExpMask, 0);
+    }
+    if (isInfBits(b))
+        return packFloat(sign, 0, 0);
+    if (isZeroBits(b)) {
+        if (isZeroBits(a))
+            return kQuietNaN; // 0 / 0
+        return packFloat(sign, kExpMask, 0); // x / 0 -> inf
+    }
+    if (isZeroBits(a))
+        return packFloat(sign, 0, 0);
+
+    int exp_a, exp_b;
+    uint32_t sig_a, sig_b;
+    unpackFinite(a, exp_a, sig_a);
+    unpackFinite(b, exp_b, sig_b);
+
+    int exp = exp_a - exp_b + kExponentBias;
+    uint64_t num = static_cast<uint64_t>(sig_a) <<
+        (kFullMantissaBits + kGrsBits);
+    uint64_t quo = num / sig_b;
+    uint64_t rem = num % sig_b;
+    if (quo < kNormBit) {
+        // sig_a < sig_b: quotient in [0.5, 1); renormalize.
+        num <<= 1;
+        quo = num / sig_b;
+        rem = num % sig_b;
+        --exp;
+    }
+    uint64_t sig = quo | (rem != 0 ? 1 : 0);
+    if (exp < 1) {
+        sig = shiftRightSticky(sig, 1 - exp);
+        exp = 1;
+    }
+    return roundPack(sign, exp, sig);
+}
+
+uint32_t
+executeBits(Opcode op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case Opcode::Add: return addBits(a, b);
+      case Opcode::Sub: return subBits(a, b);
+      case Opcode::Mul: return mulBits(a, b);
+      case Opcode::Div: return divBits(a, b);
+      case Opcode::Sqrt: break; // handled below
+    }
+    // Newton iteration on the host is avoided; sqrt is modeled with a
+    // digit-recurrence-free identity: sqrt(a) = a / sqrt(a) converged
+    // via exponent halving + two Newton steps in soft arithmetic.
+    // For substrate purposes sqrt is only required at full precision,
+    // so defer to a precise integer method.
+    if (isNaNBits(a) || signOf(a) == 1) {
+        if (isZeroBits(a))
+            return a; // sqrt(-0) = -0
+        return kQuietNaN;
+    }
+    if (isInfBits(a) || isZeroBits(a))
+        return a;
+    int exp_x;
+    uint32_t sig_x;
+    unpackFinite(a, exp_x, sig_x);
+    // Value = sig_x * 2^(exp_x - 127 - 23). Make the exponent even.
+    int e = exp_x - kExponentBias;
+    uint64_t sig = sig_x;
+    if (e & 1) {
+        sig <<= 1;
+        --e;
+    }
+    // sqrt(sig * 2^e * 2^-23) = sqrt(sig << 23) * 2^(e/2) * 2^-23.
+    // Integer sqrt of sig << (23 + 2*GRS) yields 24+GRS significand bits.
+    uint64_t radicand = sig << (kFullMantissaBits + 2 * kGrsBits);
+    uint64_t root = 0;
+    uint64_t bit = 1ull << 62;
+    while (bit > radicand)
+        bit >>= 2;
+    uint64_t rad = radicand;
+    while (bit != 0) {
+        if (rad >= root + bit) {
+            rad -= root + bit;
+            root = (root >> 1) + bit;
+        } else {
+            root >>= 1;
+        }
+        bit >>= 2;
+    }
+    uint64_t res_sig = root | (rad != 0 ? 1 : 0);
+    int res_exp = e / 2 + kExponentBias;
+    return roundPack(0, res_exp, res_sig);
+}
+
+float
+add(float a, float b)
+{
+    return floatFromBits(addBits(floatBits(a), floatBits(b)));
+}
+
+float
+sub(float a, float b)
+{
+    return floatFromBits(subBits(floatBits(a), floatBits(b)));
+}
+
+float
+mul(float a, float b)
+{
+    return floatFromBits(mulBits(floatBits(a), floatBits(b)));
+}
+
+float
+div(float a, float b)
+{
+    return floatFromBits(divBits(floatBits(a), floatBits(b)));
+}
+
+uint32_t
+executeNarrowBits(Opcode op, uint32_t a, uint32_t b, int result_bits)
+{
+    const uint32_t exact = executeBits(op, a, b);
+    return reduceMantissa(exact, result_bits, RoundingMode::RoundToNearest);
+}
+
+} // namespace soft
+} // namespace fp
+} // namespace hfpu

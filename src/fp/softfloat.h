@@ -1,0 +1,56 @@
+#ifndef HFPU_FP_SOFTFLOAT_H
+#define HFPU_FP_SOFTFLOAT_H
+
+/**
+ * @file
+ * A from-scratch IEEE-754 binary32 implementation (add/sub/mul/div with
+ * round-to-nearest-even, full denormal support). This is the reference
+ * arithmetic for the substrate: the lookup table is populated from it at
+ * boot, the mini-FPU model executes on it with a narrower result
+ * mantissa, and tests check it bit-exact against the host FPU.
+ */
+
+#include <cstdint>
+
+#include "types.h"
+
+namespace hfpu {
+namespace fp {
+namespace soft {
+
+/** Bit-level binary32 addition, round-to-nearest-even. */
+uint32_t addBits(uint32_t a, uint32_t b);
+
+/** Bit-level binary32 subtraction, round-to-nearest-even. */
+uint32_t subBits(uint32_t a, uint32_t b);
+
+/** Bit-level binary32 multiplication, round-to-nearest-even. */
+uint32_t mulBits(uint32_t a, uint32_t b);
+
+/** Bit-level binary32 division, round-to-nearest-even. */
+uint32_t divBits(uint32_t a, uint32_t b);
+
+/** Dispatch on opcode. */
+uint32_t executeBits(Opcode op, uint32_t a, uint32_t b);
+
+/** Convenience float wrappers. */
+float add(float a, float b);
+float sub(float a, float b);
+float mul(float a, float b);
+float div(float a, float b);
+
+/**
+ * Execute with a reduced result mantissa, as a narrow FPU (e.g. the
+ * paper's 14-bit-mantissa mini-FPU) would: compute the exact binary32
+ * result and then keep only @p result_bits fraction bits, rounding to
+ * nearest even. Exponent range is unchanged (8 bits, as in the paper's
+ * mini-FPU).
+ */
+uint32_t executeNarrowBits(Opcode op, uint32_t a, uint32_t b,
+                           int result_bits);
+
+} // namespace soft
+} // namespace fp
+} // namespace hfpu
+
+#endif // HFPU_FP_SOFTFLOAT_H

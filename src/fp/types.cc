@@ -1,0 +1,45 @@
+#include "types.h"
+
+namespace hfpu {
+namespace fp {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Sqrt: return "sqrt";
+    }
+    return "?";
+}
+
+const char *
+roundingModeName(RoundingMode mode)
+{
+    switch (mode) {
+      case RoundingMode::RoundToNearest: return "round-to-nearest";
+      case RoundingMode::Jamming: return "jamming";
+      case RoundingMode::Truncation: return "truncation";
+    }
+    return "?";
+}
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Broad: return "broad-phase";
+      case Phase::Narrow: return "narrow-phase";
+      case Phase::Island: return "island";
+      case Phase::Lcp: return "lcp";
+      case Phase::Integrate: return "integrate";
+      case Phase::Other: return "other";
+    }
+    return "?";
+}
+
+} // namespace fp
+} // namespace hfpu

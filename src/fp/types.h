@@ -1,0 +1,148 @@
+#ifndef HFPU_FP_TYPES_H
+#define HFPU_FP_TYPES_H
+
+/**
+ * @file
+ * Shared basic types for the reduced-precision floating-point substrate:
+ * bit-level views of IEEE-754 binary32 values, opcodes, rounding modes,
+ * and the physics-pipeline phase tags used to select per-phase precision.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hfpu {
+namespace fp {
+
+/** Number of explicit mantissa (fraction) bits in IEEE-754 binary32. */
+constexpr int kFullMantissaBits = 23;
+/** Number of exponent bits in IEEE-754 binary32. */
+constexpr int kExponentBits = 8;
+/** Exponent bias of binary32. */
+constexpr int kExponentBias = 127;
+/** Mask covering the 23 fraction bits. */
+constexpr uint32_t kFracMask = (1u << kFullMantissaBits) - 1;
+/** Mask covering the 8 exponent bits (pre-shift). */
+constexpr uint32_t kExpMask = (1u << kExponentBits) - 1;
+
+/** FP operation kinds that the substrate models. */
+enum class Opcode : uint8_t {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Sqrt,
+};
+
+/** Number of distinct Opcode values. */
+constexpr int kNumOpcodes = 5;
+
+/** Human-readable name for an opcode. */
+const char *opcodeName(Opcode op);
+
+/**
+ * Rounding modes used when discarding low-order mantissa bits.
+ *
+ * RoundToNearest is IEEE round-to-nearest-even. Truncation is IEEE
+ * round-toward-zero. Jamming is the Burks/Goldstine/von Neumann scheme
+ * used by the paper: OR the LSB of the retained field with the three
+ * guard bits below it and place the result in the LSB (zero injected
+ * error mean, trivially cheap logic).
+ */
+enum class RoundingMode : uint8_t {
+    RoundToNearest,
+    Jamming,
+    Truncation,
+};
+
+/** Human-readable name for a rounding mode. */
+const char *roundingModeName(RoundingMode mode);
+
+/**
+ * Physics-pipeline phases (Figure 1 of the paper). Precision reduction
+ * is applied in the two massively parallel phases (Narrow-phase and the
+ * LCP solver); all other phases run at full precision.
+ */
+enum class Phase : uint8_t {
+    Broad,
+    Narrow,
+    Island,
+    Lcp,
+    Integrate,
+    Other,
+};
+
+/** Number of distinct Phase values. */
+constexpr int kNumPhases = 6;
+
+/** Human-readable name for a phase. */
+const char *phaseName(Phase phase);
+
+/** Reinterpret a float as its raw bit pattern. */
+inline uint32_t
+floatBits(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Reinterpret a raw bit pattern as a float. */
+inline float
+floatFromBits(uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+/** Extract the sign bit (0 or 1). */
+inline uint32_t signOf(uint32_t bits) { return bits >> 31; }
+
+/** Extract the biased exponent field. */
+inline uint32_t exponentOf(uint32_t bits) { return (bits >> 23) & kExpMask; }
+
+/** Extract the 23-bit fraction field. */
+inline uint32_t fractionOf(uint32_t bits) { return bits & kFracMask; }
+
+/** Assemble a binary32 bit pattern from fields. */
+inline uint32_t
+packFloat(uint32_t sign, uint32_t exponent, uint32_t fraction)
+{
+    return (sign << 31) | ((exponent & kExpMask) << 23) |
+        (fraction & kFracMask);
+}
+
+/** True if the pattern is a NaN. */
+inline bool
+isNaNBits(uint32_t bits)
+{
+    return exponentOf(bits) == kExpMask && fractionOf(bits) != 0;
+}
+
+/** True if the pattern is +/- infinity. */
+inline bool
+isInfBits(uint32_t bits)
+{
+    return exponentOf(bits) == kExpMask && fractionOf(bits) == 0;
+}
+
+/** True if the pattern is +/- zero. */
+inline bool
+isZeroBits(uint32_t bits)
+{
+    return (bits & 0x7fffffffu) == 0;
+}
+
+/** True if the pattern is a denormal (subnormal) number. */
+inline bool
+isDenormalBits(uint32_t bits)
+{
+    return exponentOf(bits) == 0 && fractionOf(bits) != 0;
+}
+
+} // namespace fp
+} // namespace hfpu
+
+#endif // HFPU_FP_TYPES_H

@@ -1,0 +1,147 @@
+#include "hfpu.h"
+
+namespace hfpu {
+namespace fpu {
+
+using namespace fp;
+
+const char *
+l1DesignName(L1Design design)
+{
+    switch (design) {
+      case L1Design::Baseline: return "baseline";
+      case L1Design::ConvTriv: return "conv-triv";
+      case L1Design::ReducedTriv: return "reduced-triv";
+      case L1Design::ReducedTrivLut: return "reduced-triv+lut";
+      case L1Design::ReducedTrivMini: return "reduced-triv+mini-fpu";
+      case L1Design::ReducedTrivMemo: return "reduced-triv+memo";
+    }
+    return "?";
+}
+
+const char *
+serviceLevelName(ServiceLevel level)
+{
+    switch (level) {
+      case ServiceLevel::Trivial: return "trivial";
+      case ServiceLevel::Lookup: return "lookup";
+      case ServiceLevel::Memo: return "memo";
+      case ServiceLevel::Mini: return "mini-fpu";
+      case ServiceLevel::Full: return "full-fpu";
+    }
+    return "?";
+}
+
+double
+ServiceStats::fractionLocalOneCycle() const
+{
+    if (total_ == 0)
+        return 0.0;
+    const uint64_t local =
+        count_[static_cast<int>(ServiceLevel::Trivial)] +
+        count_[static_cast<int>(ServiceLevel::Lookup)] +
+        count_[static_cast<int>(ServiceLevel::Memo)];
+    return static_cast<double>(local) / total_;
+}
+
+double
+ServiceStats::fraction(ServiceLevel level) const
+{
+    return total_ == 0 ? 0.0
+        : static_cast<double>(count(level)) / total_;
+}
+
+void
+ServiceStats::merge(const ServiceStats &other)
+{
+    for (int i = 0; i < kNumServiceLevels; ++i)
+        count_[i] += other.count_[i];
+    for (int op = 0; op < fp::kNumOpcodes; ++op) {
+        for (int i = 0; i < kNumServiceLevels; ++i)
+            byOpcode_[op][i] += other.byOpcode_[op][i];
+    }
+    total_ += other.total_;
+}
+
+void
+ServiceStats::reset()
+{
+    count_.fill(0);
+    for (auto &row : byOpcode_)
+        row.fill(0);
+    total_ = 0;
+}
+
+L1Fpu::L1Fpu(const L1Config &config)
+    : config_(config)
+{
+    if (config_.design == L1Design::ReducedTrivLut) {
+        lut_ = std::make_unique<LookupTable>(config_.roundingMode,
+                                             config_.lutSubBank);
+    }
+}
+
+ServiceDecision
+L1Fpu::classify(Opcode op, uint32_t a, uint32_t b, int mantissa_bits) const
+{
+    switch (config_.design) {
+      case L1Design::Baseline:
+        return {ServiceLevel::Full, TrivCondition::None};
+
+      case L1Design::ConvTriv: {
+        const TrivOutcome t = checkConventional(op, a, b);
+        if (t.trivial())
+            return {ServiceLevel::Trivial, t.condition};
+        return {ServiceLevel::Full, TrivCondition::None};
+      }
+
+      case L1Design::ReducedTriv: {
+        const TrivOutcome t =
+            checkReduced(op, a, b, mantissa_bits, config_.trivOptions);
+        if (t.trivial())
+            return {ServiceLevel::Trivial, t.condition};
+        return {ServiceLevel::Full, TrivCondition::None};
+      }
+
+      case L1Design::ReducedTrivLut: {
+        const TrivOutcome t =
+            checkReduced(op, a, b, mantissa_bits, config_.trivOptions);
+        if (t.trivial())
+            return {ServiceLevel::Trivial, t.condition};
+        uint32_t out;
+        if (LookupTable::serviceable(op, mantissa_bits) &&
+            lut_->lookup(op, a, b, out)) {
+            return {ServiceLevel::Lookup, TrivCondition::None};
+        }
+        return {ServiceLevel::Full, TrivCondition::None};
+      }
+
+      case L1Design::ReducedTrivMini: {
+        const TrivOutcome t =
+            checkReduced(op, a, b, mantissa_bits, config_.trivOptions);
+        if (t.trivial())
+            return {ServiceLevel::Trivial, t.condition};
+        const bool narrow_op = op == Opcode::Add || op == Opcode::Sub ||
+            op == Opcode::Mul;
+        if (narrow_op && mantissa_bits <= config_.miniMantissaBits)
+            return {ServiceLevel::Mini, TrivCondition::None};
+        return {ServiceLevel::Full, TrivCondition::None};
+      }
+
+      case L1Design::ReducedTrivMemo: {
+        const TrivOutcome t =
+            checkReduced(op, a, b, mantissa_bits, config_.trivOptions);
+        if (t.trivial())
+            return {ServiceLevel::Trivial, t.condition};
+        ServiceDecision decision{ServiceLevel::Full,
+                                 TrivCondition::None, false};
+        decision.memoCandidate = op == Opcode::Add ||
+            op == Opcode::Sub || op == Opcode::Mul;
+        return decision;
+      }
+    }
+    return {ServiceLevel::Full, TrivCondition::None};
+}
+
+} // namespace fpu
+} // namespace hfpu

@@ -1,0 +1,175 @@
+#ifndef HFPU_FPU_HFPU_H
+#define HFPU_FPU_HFPU_H
+
+/**
+ * @file
+ * The hierarchical FPU's L1 level (Section 5.1): composition of the
+ * trivialization logic, the mantissa lookup table, and the mini-FPU
+ * into the paper's four L1 design alternatives, plus the classification
+ * of each dynamic FP operation into the service level that completes
+ * it. The cycle simulator (csim) consumes these classifications; the
+ * energy model (model) prices them.
+ */
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "fp/precision.h"
+#include "fp/types.h"
+#include "fpu/lut.h"
+#include "fpu/trivial.h"
+
+namespace hfpu {
+namespace fpu {
+
+/** The paper's evaluated L1 FPU design alternatives (Table 8). */
+enum class L1Design : uint8_t {
+    Baseline,        //!< no L1 mechanisms; every FP op uses the shared FPU
+    ConvTriv,        //!< conventional trivialization only (full precision)
+    ReducedTriv,     //!< reduced-precision trivialization (+exponent logic)
+    ReducedTrivLut,  //!< reduced triv + 2K-entry lookup table
+    ReducedTrivMini, //!< reduced triv + 14-bit-mantissa mini-FPU
+    /**
+     * Ablation design (the alternative Section 4.3.4 rejects): reduced
+     * trivialization plus two per-core 256-entry 16-way memoization
+     * tables. Stateful -- hit/miss depends on each core's history --
+     * so the cycle simulator resolves it at dispatch time.
+     */
+    ReducedTrivMemo,
+};
+
+/** Number of distinct L1Design values. */
+constexpr int kNumL1Designs = 6;
+
+/** Human-readable name. */
+const char *l1DesignName(L1Design design);
+
+/** Where an FP operation is serviced (Table 7 latency classes). */
+enum class ServiceLevel : uint8_t {
+    Trivial, //!< trivialization or equal-exponent adder: 1 cycle, local
+    Lookup,  //!< mantissa lookup table: 1 cycle, local
+    Memo,    //!< memoization-table hit: 1 cycle, local (ablation)
+    Mini,    //!< mini-FPU: 3 cycles, local (possibly shared)
+    Full,    //!< shared full-precision L2 FPU
+};
+
+/** Number of distinct ServiceLevel values. */
+constexpr int kNumServiceLevels = 5;
+
+/** Human-readable name. */
+const char *serviceLevelName(ServiceLevel level);
+
+/** Result of classifying one dynamic operation. */
+struct ServiceDecision {
+    ServiceLevel level = ServiceLevel::Full;
+    TrivCondition condition = TrivCondition::None;
+    /**
+     * Set for non-trivial add/sub/mul under the memo ablation design:
+     * the op may still be serviced locally if the executing core's
+     * memo table hits (resolved by the cycle simulator).
+     */
+    bool memoCandidate = false;
+};
+
+/** Static configuration of an L1 FPU instance. */
+struct L1Config {
+    L1Design design = L1Design::ReducedTrivLut;
+    fp::RoundingMode roundingMode = fp::RoundingMode::Jamming;
+    /** Model the lookup table's effective-subtraction bank. */
+    bool lutSubBank = true;
+    /** Mini-FPU mantissa width (paper: 14). */
+    int miniMantissaBits = 14;
+    /**
+     * Fuzzy-memoization width for the memo ablation design: operand
+     * tags are matched at this mantissa width (23 = exact matching;
+     * Alvarez et al.'s fuzzy reuse matches reduced tags while storing
+     * full-precision results).
+     */
+    int memoFuzzyBits = 23;
+    /** Enable the deferred reduced-divisor trivialization extension. */
+    fpu::TrivOptions trivOptions{};
+};
+
+/** Per-service-level counters (drives Figure 6(b)). */
+class ServiceStats
+{
+  public:
+    ServiceStats() { reset(); }
+
+    void
+    note(fp::Opcode op, ServiceLevel level)
+    {
+        ++count_[static_cast<int>(level)];
+        ++byOpcode_[static_cast<int>(op)][static_cast<int>(level)];
+        ++total_;
+    }
+
+    uint64_t count(ServiceLevel level) const
+    {
+        return count_[static_cast<int>(level)];
+    }
+    uint64_t count(fp::Opcode op, ServiceLevel level) const
+    {
+        return byOpcode_[static_cast<int>(op)][static_cast<int>(level)];
+    }
+    uint64_t total() const { return total_; }
+
+    /** Fraction of ops completed locally in one cycle (Triv + Lookup). */
+    double fractionLocalOneCycle() const;
+    double fraction(ServiceLevel level) const;
+
+    /** Accumulate another stats object into this one. */
+    void merge(const ServiceStats &other);
+
+    void reset();
+
+  private:
+    std::array<uint64_t, kNumServiceLevels> count_;
+    std::array<std::array<uint64_t, kNumServiceLevels>,
+               fp::kNumOpcodes> byOpcode_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * An L1 FPU instance: classifies dynamic ops per the configured design.
+ * Stateless with respect to op history (the lookup table is read-only
+ * after boot), so one instance may serve any number of simulated cores.
+ */
+class L1Fpu
+{
+  public:
+    explicit L1Fpu(const L1Config &config);
+
+    const L1Config &config() const { return config_; }
+
+    /**
+     * Classify one dynamic operation.
+     *
+     * @param op            opcode
+     * @param a, b          operand bit patterns as presented to the FPU
+     *                      (already reduced for reducible ops)
+     * @param mantissa_bits active precision of the op (23 = full)
+     */
+    ServiceDecision classify(fp::Opcode op, uint32_t a, uint32_t b,
+                             int mantissa_bits) const;
+
+    /** Convenience overload for recorded ops. */
+    ServiceDecision
+    classify(const fp::OpRecord &rec) const
+    {
+        return classify(rec.op, rec.a, rec.b, rec.mantissaBits);
+    }
+
+    /** The lookup table, if this design has one (else nullptr). */
+    const LookupTable *lookupTable() const { return lut_.get(); }
+
+  private:
+    L1Config config_;
+    std::unique_ptr<LookupTable> lut_;
+};
+
+} // namespace fpu
+} // namespace hfpu
+
+#endif // HFPU_FPU_HFPU_H

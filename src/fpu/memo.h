@@ -1,0 +1,119 @@
+#ifndef HFPU_FPU_MEMO_H
+#define HFPU_FPU_MEMO_H
+
+/**
+ * @file
+ * Memoization (instruction reuse) tables, Section 4.3.3 of the paper:
+ * one 256-entry, 16-way set-associative table per operation type
+ * (add and multiply), indexed by an XOR of the most significant
+ * mantissa bits of the two operands, tagged with the full operand
+ * pair, LRU-replaced. With reduced-precision operands the value space
+ * shrinks (2^2n combinations at n mantissa bits), so hit rates rise
+ * sharply below ~6 bits — the observation that motivates replacing the
+ * memo tables with a boot-time lookup table.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fp/types.h"
+
+namespace hfpu {
+namespace fpu {
+
+/**
+ * A single set-associative memoization table for one operation type.
+ */
+class MemoTable
+{
+  public:
+    /**
+     * @param entries    total entry count (default 256, as in the paper)
+     * @param ways       associativity (default 16)
+     * @param fuzzy_bits operand-tag mantissa width: 23 matches exact
+     *                   operands; less implements Alvarez et al.'s
+     *                   fuzzy reuse (reduced tags, full results)
+     */
+    explicit MemoTable(int entries = 256, int ways = 16,
+                       int fuzzy_bits = 23);
+
+    /**
+     * Look up a previously executed (a, b) pair. Counts a lookup; on
+     * hit, refreshes LRU and returns the cached result.
+     */
+    std::optional<uint32_t> lookup(uint32_t a, uint32_t b);
+
+    /** Install the result of an executed operation (LRU replace). */
+    void insert(uint32_t a, uint32_t b, uint32_t result);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t hits() const { return hits_; }
+    double hitRate() const
+    {
+        return lookups_ == 0 ? 0.0
+            : static_cast<double>(hits_) / lookups_;
+    }
+
+    int entries() const { return ways_ * sets_; }
+    int ways() const { return ways_; }
+
+    void reset();
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint32_t a = 0;
+        uint32_t b = 0;
+        uint32_t result = 0;
+        uint64_t lastUse = 0;
+    };
+
+    int setIndex(uint32_t a, uint32_t b) const;
+    uint32_t tagOf(uint32_t bits) const;
+
+    int ways_;
+    int sets_;
+    int fuzzyBits_;
+    std::vector<Entry> table_; // sets_ x ways_, row-major
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t useClock_ = 0;
+};
+
+/**
+ * The paper's memoization configuration: one table per operation type
+ * (add/sub share the adder table; multiply has its own), with
+ * trivializable operations filtered out by the caller.
+ */
+class MemoUnit
+{
+  public:
+    MemoUnit(int entries = 256, int ways = 16, int fuzzy_bits = 23);
+
+    /** Table selection; nullptr for non-memoized opcodes (div/sqrt). */
+    MemoTable *tableFor(fp::Opcode op);
+    const MemoTable *tableFor(fp::Opcode op) const;
+
+    /**
+     * Combined lookup-or-insert convenience: returns true on hit;
+     * on miss, installs @p result.
+     */
+    bool access(fp::Opcode op, uint32_t a, uint32_t b, uint32_t result);
+
+    MemoTable &addTable() { return add_; }
+    MemoTable &mulTable() { return mul_; }
+    const MemoTable &addTable() const { return add_; }
+    const MemoTable &mulTable() const { return mul_; }
+
+    void reset();
+
+  private:
+    MemoTable add_;
+    MemoTable mul_;
+};
+
+} // namespace fpu
+} // namespace hfpu
+
+#endif // HFPU_FPU_MEMO_H

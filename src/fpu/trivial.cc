@@ -1,0 +1,222 @@
+#include "trivial.h"
+
+#include <cstdlib>
+
+#include "fp/rounding.h"
+
+namespace hfpu {
+namespace fpu {
+
+using namespace fp;
+
+namespace {
+
+constexpr uint32_t kPosZero = 0x00000000u;
+constexpr uint32_t kPosOne = 0x3f800000u;
+constexpr uint32_t kNegOne = 0xbf800000u;
+
+inline uint32_t negate(uint32_t bits) { return bits ^ 0x80000000u; }
+
+inline bool
+isSpecial(uint32_t bits)
+{
+    return exponentOf(bits) == kExpMask; // Inf or NaN
+}
+
+/** Exact product of a power of two and another operand. */
+uint32_t
+scaleByPowerOfTwo(uint32_t pow2, uint32_t other)
+{
+    // The multiply is exact (mantissa passes through); use the host FPU
+    // so overflow/underflow match hardware sign/exponent logic.
+    return floatBits(floatFromBits(pow2) * floatFromBits(other));
+}
+
+/** Exact quotient of a dividend by a power of two. */
+uint32_t
+divideByPowerOfTwo(uint32_t dividend, uint32_t pow2)
+{
+    return floatBits(floatFromBits(dividend) / floatFromBits(pow2));
+}
+
+TrivOutcome
+checkConventionalAdd(Opcode op, uint32_t a, uint32_t b)
+{
+    const bool sub = op == Opcode::Sub;
+    if (isZeroBits(a) && isZeroBits(b)) {
+        // Exact zero-sum semantics so trivialization is error-free.
+        const uint32_t sb = sub ? negate(b) : b;
+        const uint32_t r = signOf(a) == signOf(sb) ? a : kPosZero;
+        return {TrivCondition::AddZeroOperand, r};
+    }
+    if (isZeroBits(a))
+        return {TrivCondition::AddZeroOperand, sub ? negate(b) : b};
+    if (isZeroBits(b))
+        return {TrivCondition::AddZeroOperand, a};
+    return {};
+}
+
+TrivOutcome
+checkConventionalMul(uint32_t a, uint32_t b)
+{
+    const uint32_t sign = (signOf(a) ^ signOf(b)) << 31;
+    if (isZeroBits(a) || isZeroBits(b))
+        return {TrivCondition::MulZeroOperand, sign};
+    if (a == kPosOne || a == kNegOne)
+        return {TrivCondition::MulOneOperand, sign | (b & 0x7fffffffu)};
+    if (b == kPosOne || b == kNegOne)
+        return {TrivCondition::MulOneOperand, sign | (a & 0x7fffffffu)};
+    return {};
+}
+
+TrivOutcome
+checkConventionalDiv(uint32_t a, uint32_t b)
+{
+    const uint32_t sign = (signOf(a) ^ signOf(b)) << 31;
+    if (isZeroBits(a) && !isZeroBits(b))
+        return {TrivCondition::DivZeroDividend, sign};
+    if (b == kPosOne || b == kNegOne)
+        return {TrivCondition::DivUnitDivisor, sign | (a & 0x7fffffffu)};
+    return {};
+}
+
+} // namespace
+
+const char *
+trivConditionName(TrivCondition cond)
+{
+    switch (cond) {
+      case TrivCondition::None: return "none";
+      case TrivCondition::AddZeroOperand: return "add-zero-operand";
+      case TrivCondition::MulZeroOperand: return "mul-zero-operand";
+      case TrivCondition::MulOneOperand: return "mul-one-operand";
+      case TrivCondition::DivZeroDividend: return "div-zero-dividend";
+      case TrivCondition::DivUnitDivisor: return "div-unit-divisor";
+      case TrivCondition::SqrtZeroOrOne: return "sqrt-zero-or-one";
+      case TrivCondition::AddExponentGap: return "add-exponent-gap";
+      case TrivCondition::MulUnitMantissa: return "mul-unit-mantissa";
+      case TrivCondition::DivUnitMantissa: return "div-unit-mantissa";
+      case TrivCondition::DivReducedDivisor:
+        return "div-reduced-divisor";
+    }
+    return "?";
+}
+
+TrivOutcome
+checkConventional(Opcode op, uint32_t a, uint32_t b)
+{
+    // Trivialization must never fire on Inf/NaN operands: the rewrite
+    // rules below are only valid for finite values (e.g. inf * 0).
+    if (isSpecial(a) || (op != Opcode::Sqrt && isSpecial(b)))
+        return {};
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+        return checkConventionalAdd(op, a, b);
+      case Opcode::Mul:
+        return checkConventionalMul(a, b);
+      case Opcode::Div:
+        return checkConventionalDiv(a, b);
+      case Opcode::Sqrt:
+        if (isZeroBits(a))
+            return {TrivCondition::SqrtZeroOrOne, a};
+        if (a == kPosOne)
+            return {TrivCondition::SqrtZeroOrOne, kPosOne};
+        return {};
+    }
+    return {};
+}
+
+TrivOutcome
+checkReduced(Opcode op, uint32_t a, uint32_t b, int mantissa_bits,
+             const TrivOptions &options)
+{
+    TrivOutcome conv = checkConventional(op, a, b);
+    if (conv.trivial())
+        return conv;
+    if (isSpecial(a) || isSpecial(b) || isZeroBits(a) || isZeroBits(b))
+        return {};
+
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub: {
+        // Extended condition 1: the smaller operand is entirely below
+        // the larger's reduced mantissa (the +1 accounts for the
+        // implicit one), so the sum is the larger operand itself, kept
+        // at full precision to minimize injected error.
+        const int gap = std::abs(static_cast<int>(exponentOf(a)) -
+                                 static_cast<int>(exponentOf(b)));
+        if (gap > mantissa_bits + 1) {
+            const bool a_larger = exponentOf(a) > exponentOf(b);
+            uint32_t r = a_larger ? a
+                : (op == Opcode::Sub ? negate(b) : b);
+            return {TrivCondition::AddExponentGap, r};
+        }
+        return {};
+      }
+      case Opcode::Mul:
+        // Extended condition 2: a reduced mantissa of exactly 1.0 means
+        // the operand is +/-2^E; the other operand's mantissa passes
+        // through and only sign/exponent logic runs.
+        if (fractionOf(a) == 0 && !isDenormalBits(a))
+            return {TrivCondition::MulUnitMantissa,
+                    scaleByPowerOfTwo(a, b)};
+        if (fractionOf(b) == 0 && !isDenormalBits(b))
+            return {TrivCondition::MulUnitMantissa,
+                    scaleByPowerOfTwo(b, a)};
+        return {};
+      case Opcode::Div: {
+        // Extended condition 3: checks the full (unreduced) divisor
+        // mantissa only -- the believability study did not cover
+        // reduced divisors.
+        if (fractionOf(b) == 0 && !isDenormalBits(b))
+            return {TrivCondition::DivUnitMantissa,
+                    divideByPowerOfTwo(a, b)};
+        // Deferred extension: examine the divisor *after* reduction,
+        // trading injected error for more trivial divides.
+        if (options.reducedDivisor && !isDenormalBits(b)) {
+            const uint32_t rb = fp::reduceMantissa(
+                b, mantissa_bits, fp::RoundingMode::RoundToNearest);
+            if (fractionOf(rb) == 0 && !isDenormalBits(rb) &&
+                !isSpecial(rb)) {
+                return {TrivCondition::DivReducedDivisor,
+                        divideByPowerOfTwo(a, rb)};
+            }
+        }
+        return {};
+      }
+      case Opcode::Sqrt:
+        return {};
+    }
+    return {};
+}
+
+double
+TrivStats::fractionTrivial(Opcode op) const
+{
+    const uint64_t t = total_[static_cast<int>(op)];
+    return t == 0 ? 0.0
+        : static_cast<double>(trivial_[static_cast<int>(op)]) / t;
+}
+
+double
+TrivStats::fractionTrivialOverall() const
+{
+    uint64_t t = 0, tr = 0;
+    for (int i = 0; i < fp::kNumOpcodes; ++i) {
+        t += total_[i];
+        tr += trivial_[i];
+    }
+    return t == 0 ? 0.0 : static_cast<double>(tr) / t;
+}
+
+void
+TrivStats::reset()
+{
+    total_.fill(0);
+    trivial_.fill(0);
+    byCondition_.fill(0);
+}
+
+} // namespace fpu
+} // namespace hfpu

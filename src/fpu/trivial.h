@@ -1,0 +1,145 @@
+#ifndef HFPU_FPU_TRIVIAL_H
+#define HFPU_FPU_TRIVIAL_H
+
+/**
+ * @file
+ * Trivialization logic (Section 4.3.1 / Tables 2 and 3 of the paper).
+ *
+ * A trivial FP operation is one whose result can be produced without a
+ * functional unit. The conventional conditions (Table 2) detect zero
+ * and +/-1 operands. The paper adds three conditions that become far
+ * more productive once operands are precision reduced:
+ *
+ *  1. Add/Sub whose exponent gap exceeds the valid mantissa width + 1:
+ *     the smaller operand is entirely shifted out, so the result is the
+ *     larger operand at its full precision.
+ *  2. Mul by an operand whose *reduced* mantissa is 1.0 (any +/-2^E):
+ *     the result mantissa is the other operand's; only sign/exponent
+ *     logic runs.
+ *  3. Div by a divisor whose *full* mantissa is 1.0 (any +/-2^E):
+ *     the result mantissa is the dividend's; only sign/exponent logic
+ *     runs. (Reduced divisors are not trivialized, following the paper,
+ *     because the believability study only covered add/sub/mul.)
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "fp/types.h"
+
+namespace hfpu {
+namespace fpu {
+
+/** Which rule (if any) made an operation trivial. */
+enum class TrivCondition : uint8_t {
+    None,
+    AddZeroOperand,   //!< conventional: X + 0, 0 + Y, X - 0, 0 - Y
+    MulZeroOperand,   //!< conventional: X * 0
+    MulOneOperand,    //!< conventional: X * +/-1
+    DivZeroDividend,  //!< conventional: 0 / Y
+    DivUnitDivisor,   //!< conventional: X / +/-1
+    SqrtZeroOrOne,    //!< conventional: sqrt(0), sqrt(1)
+    AddExponentGap,   //!< extended 1: |Ex - Ey| > mantissa bits + 1
+    MulUnitMantissa,  //!< extended 2: reduced mantissa is exactly 1.0
+    DivUnitMantissa,  //!< extended 3: divisor mantissa is exactly 1.0
+    /**
+     * Optional extension the paper defers ("Divide could also examine
+     * the reduced divisor"): the divisor's mantissa is 1.0 *after*
+     * reduction to the active width, so the divide is replaced by an
+     * exact power-of-two scaling of the dividend — at the cost of the
+     * error injected by rounding the divisor.
+     */
+    DivReducedDivisor,
+};
+
+/** Number of distinct TrivCondition values. */
+constexpr int kNumTrivConditions = 11;
+
+/** Human-readable name. */
+const char *trivConditionName(TrivCondition cond);
+
+/** Outcome of a trivialization check. */
+struct TrivOutcome {
+    TrivCondition condition = TrivCondition::None;
+    uint32_t resultBits = 0; //!< valid iff trivial()
+
+    bool trivial() const { return condition != TrivCondition::None; }
+};
+
+/**
+ * Check the conventional (Table 2) conditions only, on full-precision
+ * operands. This is the paper's "Conventional Trivialization" L1 FPU.
+ */
+TrivOutcome checkConventional(fp::Opcode op, uint32_t a, uint32_t b);
+
+/** Optional trivialization extensions. */
+struct TrivOptions {
+    /**
+     * Enable the deferred reduced-divisor divide condition. Off by
+     * default, following the paper (the believability study only
+     * covered reducing add/sub/mul).
+     */
+    bool reducedDivisor = false;
+};
+
+/**
+ * Check conventional plus the three extended conditions, assuming the
+ * operands of add/sub/mul have already been reduced to
+ * @p mantissa_bits fraction bits. This is the paper's "Reduced
+ * Precision Trivialization" L1 FPU (conventional logic plus an 8-bit
+ * exponent adder).
+ */
+TrivOutcome checkReduced(fp::Opcode op, uint32_t a, uint32_t b,
+                         int mantissa_bits,
+                         const TrivOptions &options = {});
+
+/**
+ * Per-opcode, per-condition trivialization counters, used to regenerate
+ * Table 4 and Figure 6(b).
+ */
+class TrivStats
+{
+  public:
+    TrivStats() { reset(); }
+
+    /** Record one checked operation. */
+    void
+    note(fp::Opcode op, TrivCondition cond)
+    {
+        ++total_[static_cast<int>(op)];
+        if (cond != TrivCondition::None)
+            ++trivial_[static_cast<int>(op)];
+        ++byCondition_[static_cast<int>(cond)];
+    }
+
+    uint64_t total(fp::Opcode op) const
+    {
+        return total_[static_cast<int>(op)];
+    }
+    uint64_t trivial(fp::Opcode op) const
+    {
+        return trivial_[static_cast<int>(op)];
+    }
+    uint64_t byCondition(TrivCondition cond) const
+    {
+        return byCondition_[static_cast<int>(cond)];
+    }
+
+    /** Fraction of ops of @p op that were trivial (0 if none seen). */
+    double fractionTrivial(fp::Opcode op) const;
+
+    /** Fraction of all checked ops that were trivial. */
+    double fractionTrivialOverall() const;
+
+    void reset();
+
+  private:
+    std::array<uint64_t, fp::kNumOpcodes> total_;
+    std::array<uint64_t, fp::kNumOpcodes> trivial_;
+    std::array<uint64_t, kNumTrivConditions> byCondition_;
+};
+
+} // namespace fpu
+} // namespace hfpu
+
+#endif // HFPU_FPU_TRIVIAL_H

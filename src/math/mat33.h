@@ -1,0 +1,136 @@
+#ifndef HFPU_MATH_MAT33_H
+#define HFPU_MATH_MAT33_H
+
+/**
+ * @file
+ * Precision-aware 3x3 matrix (row-major), sized for inertia tensors and
+ * rotation matrices.
+ */
+
+#include "math/vec3.h"
+
+namespace hfpu {
+namespace math {
+
+struct Mat33 {
+    // Rows.
+    Vec3 r0, r1, r2;
+
+    constexpr Mat33() = default;
+    constexpr Mat33(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+        : r0(a), r1(b), r2(c)
+    {}
+
+    static constexpr Mat33
+    identity()
+    {
+        return {{1.0f, 0.0f, 0.0f},
+                {0.0f, 1.0f, 0.0f},
+                {0.0f, 0.0f, 1.0f}};
+    }
+
+    /** Diagonal matrix from a vector. */
+    static constexpr Mat33
+    diagonal(const Vec3 &d)
+    {
+        return {{d.x, 0.0f, 0.0f}, {0.0f, d.y, 0.0f}, {0.0f, 0.0f, d.z}};
+    }
+
+    Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {r0.dot(v), r1.dot(v), r2.dot(v)};
+    }
+
+    Mat33
+    operator*(const Mat33 &o) const
+    {
+        const Mat33 t = o.transposed();
+        return {{r0.dot(t.r0), r0.dot(t.r1), r0.dot(t.r2)},
+                {r1.dot(t.r0), r1.dot(t.r1), r1.dot(t.r2)},
+                {r2.dot(t.r0), r2.dot(t.r1), r2.dot(t.r2)}};
+    }
+
+    Mat33
+    operator+(const Mat33 &o) const
+    {
+        return {r0 + o.r0, r1 + o.r1, r2 + o.r2};
+    }
+
+    Mat33
+    operator*(float s) const
+    {
+        return {r0 * s, r1 * s, r2 * s};
+    }
+
+    Mat33
+    transposed() const
+    {
+        return {{r0.x, r1.x, r2.x},
+                {r0.y, r1.y, r2.y},
+                {r0.z, r1.z, r2.z}};
+    }
+
+    /** Column access. */
+    Vec3
+    column(int i) const
+    {
+        switch (i) {
+          case 0: return {r0.x, r1.x, r2.x};
+          case 1: return {r0.y, r1.y, r2.y};
+          default: return {r0.z, r1.z, r2.z};
+        }
+    }
+
+    float
+    determinant() const
+    {
+        return r0.dot(r1.cross(r2));
+    }
+
+    /**
+     * Inverse via the adjugate. The caller guarantees the matrix is
+     * well-conditioned (effective-mass matrices in the solver are
+     * symmetric positive definite); a singular input returns zeroes.
+     */
+    Mat33
+    inverse() const
+    {
+        const Vec3 c0 = r1.cross(r2);
+        const Vec3 c1 = r2.cross(r0);
+        const Vec3 c2 = r0.cross(r1);
+        const float det = r0.dot(c0);
+        if (det == 0.0f)
+            return {};
+        const float inv_det = fdiv(1.0f, det);
+        // Rows of the inverse are the scaled cofactor columns.
+        return Mat33{{c0.x, c1.x, c2.x},
+                     {c0.y, c1.y, c2.y},
+                     {c0.z, c1.z, c2.z}} * inv_det;
+    }
+
+    bool
+    finite() const
+    {
+        return r0.finite() && r1.finite() && r2.finite();
+    }
+};
+
+/** Skew-symmetric cross-product matrix: skew(a) * b == a x b. */
+inline Mat33
+skew(const Vec3 &a)
+{
+    return {{0.0f, -a.z, a.y}, {a.z, 0.0f, -a.x}, {-a.y, a.x, 0.0f}};
+}
+
+/** Outer product a * b^T. */
+inline Mat33
+outer(const Vec3 &a, const Vec3 &b)
+{
+    return {b * a.x, b * a.y, b * a.z};
+}
+
+} // namespace math
+} // namespace hfpu
+
+#endif // HFPU_MATH_MAT33_H

@@ -1,0 +1,94 @@
+#include "math/quat.h"
+
+#include <cmath>
+
+#include "math/vec3.h"
+
+namespace hfpu {
+namespace math {
+
+bool
+Vec3::finite() const
+{
+    return std::isfinite(x) && std::isfinite(y) && std::isfinite(z);
+}
+
+Quat
+Quat::fromAxisAngle(const Vec3 &axis, float angle)
+{
+    // Trig runs on the host at full precision: ODE-style engines use
+    // library sin/cos; the paper reduces only add/sub/mul.
+    const float half = 0.5f * angle;
+    const float s = std::sin(half);
+    return {std::cos(half), fmul(axis.x, s), fmul(axis.y, s),
+            fmul(axis.z, s)};
+}
+
+Quat
+Quat::operator*(const Quat &o) const
+{
+    return {
+        fsub(fsub(fsub(fmul(w, o.w), fmul(x, o.x)), fmul(y, o.y)),
+             fmul(z, o.z)),
+        fsub(fadd(fadd(fmul(w, o.x), fmul(x, o.w)), fmul(y, o.z)),
+             fmul(z, o.y)),
+        fadd(fsub(fadd(fmul(w, o.y), fmul(y, o.w)), fmul(x, o.z)),
+             fmul(z, o.x)),
+        fadd(fadd(fsub(fmul(w, o.z), fmul(y, o.x)), fmul(x, o.y)),
+             fmul(z, o.w)),
+    };
+}
+
+Quat
+Quat::normalized() const
+{
+    const float n = fsqrt(normSq());
+    if (!(n > 1e-12f) || !std::isfinite(n))
+        return identity();
+    const float inv = fdiv(1.0f, n);
+    return scaled(inv);
+}
+
+Vec3
+Quat::rotate(const Vec3 &v) const
+{
+    // v' = v + 2 * qv x (qv x v + w v)
+    const Vec3 qv{x, y, z};
+    const Vec3 t = qv.cross(v) + v * w;
+    return v + (qv.cross(t)) * 2.0f;
+}
+
+Mat33
+Quat::toMat33() const
+{
+    const float xx = fmul(x, x), yy = fmul(y, y), zz = fmul(z, z);
+    const float xy = fmul(x, y), xz = fmul(x, z), yz = fmul(y, z);
+    const float wx = fmul(w, x), wy = fmul(w, y), wz = fmul(w, z);
+    const float two = 2.0f;
+    return {
+        {fsub(1.0f, fmul(two, fadd(yy, zz))),
+         fmul(two, fsub(xy, wz)), fmul(two, fadd(xz, wy))},
+        {fmul(two, fadd(xy, wz)),
+         fsub(1.0f, fmul(two, fadd(xx, zz))), fmul(two, fsub(yz, wx))},
+        {fmul(two, fsub(xz, wy)), fmul(two, fadd(yz, wx)),
+         fsub(1.0f, fmul(two, fadd(xx, yy)))},
+    };
+}
+
+Quat
+Quat::integrated(const Vec3 &omega, float dt) const
+{
+    const Quat omega_q{0.0f, omega.x, omega.y, omega.z};
+    const Quat dq = (omega_q * *this).scaled(fmul(0.5f, dt));
+    return (*this + dq).normalized();
+}
+
+bool
+Quat::finite() const
+{
+    return std::isfinite(w) && std::isfinite(x) && std::isfinite(y) &&
+        std::isfinite(z);
+}
+
+} // namespace math
+} // namespace hfpu

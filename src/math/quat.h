@@ -1,0 +1,75 @@
+#ifndef HFPU_MATH_QUAT_H
+#define HFPU_MATH_QUAT_H
+
+/**
+ * @file
+ * Precision-aware unit quaternion for rigid-body orientations.
+ */
+
+#include "math/mat33.h"
+#include "math/vec3.h"
+
+namespace hfpu {
+namespace math {
+
+struct Quat {
+    float w = 1.0f;
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Quat() = default;
+    constexpr Quat(float w_, float x_, float y_, float z_)
+        : w(w_), x(x_), y(y_), z(z_)
+    {}
+
+    static constexpr Quat identity() { return {}; }
+
+    /** Rotation of @p angle radians about unit @p axis. */
+    static Quat fromAxisAngle(const Vec3 &axis, float angle);
+
+    Quat operator*(const Quat &o) const;
+
+    Quat
+    operator+(const Quat &o) const
+    {
+        return {fadd(w, o.w), fadd(x, o.x), fadd(y, o.y), fadd(z, o.z)};
+    }
+
+    Quat
+    scaled(float s) const
+    {
+        return {fmul(w, s), fmul(x, s), fmul(y, s), fmul(z, s)};
+    }
+
+    Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    float
+    normSq() const
+    {
+        return fadd(fadd(fmul(w, w), fmul(x, x)),
+                    fadd(fmul(y, y), fmul(z, z)));
+    }
+
+    /** Unit quaternion in this direction (identity if degenerate). */
+    Quat normalized() const;
+
+    /** Rotate a vector by this (unit) quaternion. */
+    Vec3 rotate(const Vec3 &v) const;
+
+    /** Rotation matrix of this (unit) quaternion. */
+    Mat33 toMat33() const;
+
+    /**
+     * First-order integration: q += 0.5 * (omega quat) * q * dt, then
+     * renormalize. Standard rigid-body orientation update.
+     */
+    Quat integrated(const Vec3 &omega, float dt) const;
+
+    bool finite() const;
+};
+
+} // namespace math
+} // namespace hfpu
+
+#endif // HFPU_MATH_QUAT_H

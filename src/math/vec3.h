@@ -1,0 +1,128 @@
+#ifndef HFPU_MATH_VEC3_H
+#define HFPU_MATH_VEC3_H
+
+/**
+ * @file
+ * Precision-aware 3-vector. Every arithmetic operation routes through
+ * the fp scalar functions so the active PrecisionContext (phase,
+ * mantissa width, rounding mode, recorder) applies to all physics math.
+ * Sign flips and comparisons are free (they are not FPU operations).
+ */
+
+#include "fp/precision.h"
+
+namespace hfpu {
+namespace math {
+
+using fp::fadd;
+using fp::fdiv;
+using fp::fmul;
+using fp::fsqrt;
+using fp::fsub;
+
+struct Vec3 {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    static constexpr Vec3 zero() { return {}; }
+
+    Vec3
+    operator+(const Vec3 &o) const
+    {
+        return {fadd(x, o.x), fadd(y, o.y), fadd(z, o.z)};
+    }
+    Vec3
+    operator-(const Vec3 &o) const
+    {
+        return {fsub(x, o.x), fsub(y, o.y), fsub(z, o.z)};
+    }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+    Vec3
+    operator*(float s) const
+    {
+        return {fmul(x, s), fmul(y, s), fmul(z, s)};
+    }
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        *this = *this + o;
+        return *this;
+    }
+    Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        *this = *this - o;
+        return *this;
+    }
+    Vec3 &
+    operator*=(float s)
+    {
+        *this = *this * s;
+        return *this;
+    }
+
+    bool
+    operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    /** Component-wise multiply. */
+    Vec3
+    cmul(const Vec3 &o) const
+    {
+        return {fmul(x, o.x), fmul(y, o.y), fmul(z, o.z)};
+    }
+
+    float
+    dot(const Vec3 &o) const
+    {
+        return fadd(fadd(fmul(x, o.x), fmul(y, o.y)), fmul(z, o.z));
+    }
+
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {fsub(fmul(y, o.z), fmul(z, o.y)),
+                fsub(fmul(z, o.x), fmul(x, o.z)),
+                fsub(fmul(x, o.y), fmul(y, o.x))};
+    }
+
+    float lengthSq() const { return dot(*this); }
+    float length() const { return fsqrt(lengthSq()); }
+
+    /**
+     * Unit vector in this direction, or zero when shorter than
+     * @p min_len (avoids dividing by a vanishing norm).
+     */
+    Vec3
+    normalized(float min_len = 1e-12f) const
+    {
+        const float len = length();
+        if (!(len > min_len))
+            return zero();
+        const float inv = fdiv(1.0f, len);
+        return *this * inv;
+    }
+
+    /** True if every component is finite. */
+    bool finite() const;
+};
+
+inline Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+/** Distance between two points. */
+inline float
+distance(const Vec3 &a, const Vec3 &b)
+{
+    return (a - b).length();
+}
+
+} // namespace math
+} // namespace hfpu
+
+#endif // HFPU_MATH_VEC3_H

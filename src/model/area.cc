@@ -1,0 +1,56 @@
+#include "model/area.h"
+
+#include <cmath>
+
+namespace hfpu {
+namespace model {
+
+double
+dieAreaMm2(double fpu_area)
+{
+    return kBaselineCores * (kCoreAreaMm2 + kRouterAreaMm2 + fpu_area);
+}
+
+double
+l1OverheadMm2(fpu::L1Design design, double fpu_area, int mini_share)
+{
+    switch (design) {
+      case fpu::L1Design::Baseline:
+        return 0.0;
+      case fpu::L1Design::ConvTriv:
+        return kConvTrivAreaMm2;
+      case fpu::L1Design::ReducedTriv:
+        return kReducedTrivAreaMm2;
+      case fpu::L1Design::ReducedTrivLut:
+        return kReducedTrivAreaMm2 + kLookupTableAreaMm2;
+      case fpu::L1Design::ReducedTrivMini:
+        return kReducedTrivAreaMm2 +
+            kMiniFpuAreaRatio * fpu_area / mini_share;
+      case fpu::L1Design::ReducedTrivMemo:
+        return kReducedTrivAreaMm2 + kMemoTablesAreaMm2;
+    }
+    return 0.0;
+}
+
+double
+perCoreAreaMm2(fpu::L1Design design, double fpu_area, int cores_per_fpu,
+               int mini_share)
+{
+    return kCoreAreaMm2 + kRouterAreaMm2 + fpu_area / cores_per_fpu +
+        l1OverheadMm2(design, fpu_area, mini_share);
+}
+
+int
+coresInDie(fpu::L1Design design, double fpu_area, int cores_per_fpu,
+           int mini_share)
+{
+    const double die = dieAreaMm2(fpu_area);
+    const double per_core =
+        perCoreAreaMm2(design, fpu_area, cores_per_fpu, mini_share);
+    int cores = static_cast<int>(std::floor(die / per_core));
+    cores -= cores % cores_per_fpu; // complete clusters only
+    return cores;
+}
+
+} // namespace model
+} // namespace hfpu

@@ -1,0 +1,71 @@
+#ifndef HFPU_MODEL_AREA_H
+#define HFPU_MODEL_AREA_H
+
+/**
+ * @file
+ * 90 nm area model and die packing (Section 5.2 / Figure 6(a)): the
+ * die budget is fixed by the unshared 128-core baseline for each FPU
+ * size; a sharing configuration packs as many cores as fit once the
+ * FPU is amortized over N cores and the L1 overhead is added.
+ *
+ * All constants are the paper's published inputs: 2 mm^2 core,
+ * 0.19 mm^2 mesh router per core, four candidate FPU areas, per-design
+ * L1 overheads from Table 8, and a mini-FPU at 60% of the full FPU.
+ */
+
+#include <array>
+#include <vector>
+
+#include "fpu/hfpu.h"
+
+namespace hfpu {
+namespace model {
+
+/** Area of one fine-grain core excluding its FPU (mm^2). */
+constexpr double kCoreAreaMm2 = 2.0;
+/** Area of one mesh-interconnect router per core (mm^2). */
+constexpr double kRouterAreaMm2 = 0.19;
+/** The four evaluated full-FPU areas (mm^2). */
+constexpr std::array<double, 4> kFpuAreasMm2 = {1.5, 1.0, 0.75, 0.375};
+/** Baseline core count fixing the die area. */
+constexpr int kBaselineCores = 128;
+/** Mini-FPU area as a fraction of the full FPU. */
+constexpr double kMiniFpuAreaRatio = 0.6;
+/** Conventional trivialization logic per core (mm^2, Table 8). */
+constexpr double kConvTrivAreaMm2 = 0.0023;
+/** Reduced-precision trivialization logic per core (mm^2, Table 8). */
+constexpr double kReducedTrivAreaMm2 = 0.0079;
+/** 2K-entry lookup table per core (mm^2, Table 5/8). */
+constexpr double kLookupTableAreaMm2 = 0.080;
+/** The two 256-entry memoization tables per core (mm^2, Table 5). */
+constexpr double kMemoTablesAreaMm2 = 0.35;
+
+/** Die area of the 128-core unshared baseline for an FPU size. */
+double dieAreaMm2(double fpu_area);
+
+/**
+ * Per-core L1 overhead of a design (mm^2). The mini-FPU overhead is
+ * amortized over @p mini_share cores.
+ */
+double l1OverheadMm2(fpu::L1Design design, double fpu_area,
+                     int mini_share = 1);
+
+/**
+ * Effective area of one core in a configuration: core + router + its
+ * share of an L2 FPU + L1 overhead.
+ */
+double perCoreAreaMm2(fpu::L1Design design, double fpu_area,
+                      int cores_per_fpu, int mini_share = 1);
+
+/**
+ * Total cores that fit in the baseline die for this configuration
+ * (Figure 6(a)). Rounded down to a multiple of the sharing degree so
+ * every cluster is complete.
+ */
+int coresInDie(fpu::L1Design design, double fpu_area, int cores_per_fpu,
+               int mini_share = 1);
+
+} // namespace model
+} // namespace hfpu
+
+#endif // HFPU_MODEL_AREA_H

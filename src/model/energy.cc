@@ -1,0 +1,48 @@
+#include "model/energy.h"
+
+namespace hfpu {
+namespace model {
+
+using fp::Opcode;
+using fpu::ServiceLevel;
+
+EnergyResult
+fpEnergy(const fpu::ServiceStats &stats, bool has_l1,
+         const EnergyParams &params)
+{
+    EnergyResult result;
+    const Opcode opcodes[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                              Opcode::Div, Opcode::Sqrt};
+    for (Opcode op : opcodes) {
+        const double full_energy = params.fpuOp(op);
+        uint64_t total_op = 0;
+        for (int level = 0; level < fpu::kNumServiceLevels; ++level) {
+            const auto sl = static_cast<ServiceLevel>(level);
+            const uint64_t n = stats.count(op, sl);
+            total_op += n;
+            switch (sl) {
+              case ServiceLevel::Trivial:
+                break; // only the check energy (added below)
+              case ServiceLevel::Lookup:
+                result.hfpu += n * params.lookup;
+                break;
+              case ServiceLevel::Memo:
+                result.hfpu += n * params.memo;
+                break;
+              case ServiceLevel::Mini:
+                result.hfpu += n * params.miniRatio * full_energy;
+                break;
+              case ServiceLevel::Full:
+                result.hfpu += n * full_energy;
+                break;
+            }
+        }
+        result.baseline += total_op * full_energy;
+        if (has_l1)
+            result.hfpu += total_op * params.trivCheck;
+    }
+    return result;
+}
+
+} // namespace model
+} // namespace hfpu

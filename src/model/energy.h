@@ -1,0 +1,71 @@
+#ifndef HFPU_MODEL_ENERGY_H
+#define HFPU_MODEL_ENERGY_H
+
+/**
+ * @file
+ * Dynamic-energy model for FP operations (Section 5.2 / Figure 6(b)),
+ * following the paper's accounting: every FP op is charged the
+ * trivialization-check energy; ops satisfied locally add the lookup
+ * table's access energy (Table 5); the rest are charged the full FPU
+ * energy (per-sub-unit data following Citron & Feitelson). Mini-FPU
+ * ops are charged in proportion to its area ratio.
+ */
+
+#include "fpu/hfpu.h"
+
+namespace hfpu {
+namespace model {
+
+/** Per-operation energies in nanojoules (90 nm). */
+struct EnergyParams {
+    double fpuAdd = 0.35;     //!< full FPU add/sub
+    double fpuMul = 0.45;     //!< full FPU multiply
+    double fpuDiv = 1.60;     //!< full FPU divide / sqrt
+    double trivCheck = 0.01;  //!< trivialization/exponent logic
+    double lookup = 0.03;     //!< Table 5 lookup-table access
+    double memo = 0.73;       //!< Table 5 memoization-table access
+    double miniRatio = 0.6;   //!< mini-FPU energy vs full FPU
+
+    double
+    fpuOp(fp::Opcode op) const
+    {
+        switch (op) {
+          case fp::Opcode::Add:
+          case fp::Opcode::Sub:
+            return fpuAdd;
+          case fp::Opcode::Mul:
+            return fpuMul;
+          case fp::Opcode::Div:
+          case fp::Opcode::Sqrt:
+            return fpuDiv;
+        }
+        return fpuAdd;
+    }
+};
+
+/** Energy accounting result (nJ). */
+struct EnergyResult {
+    double hfpu = 0.0;      //!< with the L1 design's mechanisms
+    double baseline = 0.0;  //!< all ops on the full FPU, no L1 logic
+
+    double
+    reduction() const
+    {
+        return baseline <= 0.0 ? 0.0 : 1.0 - hfpu / baseline;
+    }
+};
+
+/**
+ * Total FP dynamic energy for a classified op population.
+ *
+ * @param stats       per-service-level op counts from a simulation
+ * @param has_l1      whether the design has any L1 logic (charges the
+ *                    trivialization check on every op)
+ */
+EnergyResult fpEnergy(const fpu::ServiceStats &stats, bool has_l1,
+                      const EnergyParams &params = {});
+
+} // namespace model
+} // namespace hfpu
+
+#endif // HFPU_MODEL_ENERGY_H

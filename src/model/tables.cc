@@ -1,0 +1,61 @@
+#include "model/tables.h"
+
+#include <cmath>
+
+namespace hfpu {
+namespace model {
+
+namespace {
+
+// Bit counts of the two calibration structures.
+constexpr double kLutBits = 2048.0 * 8.0;
+constexpr double kMemoBits = 256.0 * 12.0 * 8.0;
+constexpr double kMemoWays = 16.0;
+
+// Per-bit unit costs fitted to the lookup-table row of Table 5.
+constexpr double kAreaPerBit = 0.08 / kLutBits;      // mm^2/bit
+constexpr double kEnergyPerBit = 0.03 / kLutBits;    // nJ/bit
+// Latency grows with sqrt(bits) (wordline/bitline RC), anchored at
+// the LUT point.
+const double kLatencyPerSqrtBit = 0.40 / std::sqrt(kLutBits);
+
+// Associativity factors fitted so the memo row is reproduced exactly.
+const double kAreaWayFactor =
+    (0.35 / (kMemoBits * kAreaPerBit) - 1.0) / kMemoWays;
+const double kEnergyWayFactor =
+    (0.73 / (kMemoBits * kEnergyPerBit) - 1.0) / kMemoWays;
+const double kLatencyWayFactor =
+    (0.88 / (std::sqrt(kMemoBits) * kLatencyPerSqrtBit) - 1.0) /
+    kMemoWays;
+
+} // namespace
+
+TableCosts
+lookupTableCosts()
+{
+    return {0.40, 0.03, 0.08};
+}
+
+TableCosts
+memoTableCosts()
+{
+    return {0.88, 0.73, 0.35};
+}
+
+TableCosts
+estimateTable(const TableGeometry &geometry)
+{
+    const double bits =
+        static_cast<double>(geometry.entries) * geometry.bitsPerEntry;
+    const double ways = geometry.tagged ? geometry.ways : 0.0;
+    TableCosts costs;
+    costs.areaMm2 = bits * kAreaPerBit * (1.0 + kAreaWayFactor * ways);
+    costs.energyNj =
+        bits * kEnergyPerBit * (1.0 + kEnergyWayFactor * ways);
+    costs.latencyNs = std::sqrt(bits) * kLatencyPerSqrtBit *
+        (1.0 + kLatencyWayFactor * ways);
+    return costs;
+}
+
+} // namespace model
+} // namespace hfpu

@@ -1,0 +1,48 @@
+#ifndef HFPU_MODEL_TABLES_H
+#define HFPU_MODEL_TABLES_H
+
+/**
+ * @file
+ * Latency/energy/area model of the on-core tables (Table 5). The paper
+ * generated these numbers with Cacti 3.0 at 90 nm: a 2K-entry x 1 B
+ * untagged single-port lookup table versus two 256-entry, 16-way,
+ * 12 B-entry memoization tables. We publish the paper's numbers as
+ * authoritative constants and provide a first-order SRAM scaling model
+ * (per-bit cost plus an associativity/tag-compare term) calibrated to
+ * those two points, for exploring other table geometries.
+ */
+
+namespace hfpu {
+namespace model {
+
+/** Costs of one table structure. */
+struct TableCosts {
+    double latencyNs = 0.0;
+    double energyNj = 0.0;
+    double areaMm2 = 0.0;
+};
+
+/** Table 5 row "Lookup": 2K x 8 bit, untagged, 1 port. */
+TableCosts lookupTableCosts();
+
+/** Table 5 row "Memo": 256 entries x 12 B, 16-way, tagged. */
+TableCosts memoTableCosts();
+
+/** Geometry of a candidate SRAM table. */
+struct TableGeometry {
+    int entries = 2048;
+    int bitsPerEntry = 8;
+    int ways = 1;      //!< 1 = direct/untagged
+    bool tagged = false;
+};
+
+/**
+ * First-order estimate calibrated to the two Table 5 points:
+ * cost = bits * unit_cost * (1 + k * ways) for tagged structures.
+ */
+TableCosts estimateTable(const TableGeometry &geometry);
+
+} // namespace model
+} // namespace hfpu
+
+#endif // HFPU_MODEL_TABLES_H

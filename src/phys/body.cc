@@ -1,0 +1,176 @@
+#include "phys/body.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fp/precision.h"
+
+namespace hfpu {
+namespace phys {
+
+namespace {
+
+/** Principal inertia diagonal for a shape of the given mass. */
+Vec3
+shapeInertia(const Shape &shape, float mass)
+{
+    switch (shape.type) {
+      case Shape::Type::Sphere: {
+        const float i = 0.4f * mass * shape.radius * shape.radius;
+        return {i, i, i};
+      }
+      case Shape::Type::Box: {
+        const Vec3 &h = shape.halfExtents;
+        // Full extents squared: (2h)^2 = 4h^2; I = m/12 * (b^2 + c^2).
+        const float k = mass / 3.0f;
+        return {k * (h.y * h.y + h.z * h.z),
+                k * (h.x * h.x + h.z * h.z),
+                k * (h.x * h.x + h.y * h.y)};
+      }
+      case Shape::Type::Capsule: {
+        // Solid cylinder plus two hemispherical caps, axis along Y.
+        const float r = shape.radius;
+        const float h = 2.0f * shape.halfLength;
+        const float vol_cyl = 3.14159265f * r * r * h;
+        const float vol_sph = (4.0f / 3.0f) * 3.14159265f * r * r * r;
+        const float m_cyl = mass * vol_cyl / (vol_cyl + vol_sph);
+        const float m_sph = mass - m_cyl;
+        const float iy = 0.5f * m_cyl * r * r + 0.4f * m_sph * r * r;
+        const float d = shape.halfLength; // cap center offset
+        const float ix = m_cyl * (r * r / 4.0f + h * h / 12.0f) +
+            m_sph * (0.4f * r * r + d * d + 0.375f * r * h);
+        return {ix, iy, ix};
+      }
+      case Shape::Type::Plane:
+        return {0.0f, 0.0f, 0.0f};
+    }
+    return {};
+}
+
+} // namespace
+
+RigidBody::RigidBody(const Shape &shape, float mass, const Vec3 &position)
+    : shape_(shape), mass_(mass)
+{
+    assert(mass > 0.0f);
+    assert(shape.type != Shape::Type::Plane && "planes must be static");
+    pos = position;
+    invMass_ = 1.0f / mass;
+    inertiaBody_ = shapeInertia(shape, mass);
+    invInertiaBody_ = {1.0f / inertiaBody_.x, 1.0f / inertiaBody_.y,
+                       1.0f / inertiaBody_.z};
+    updateDerived();
+}
+
+RigidBody
+RigidBody::makeStatic(const Shape &shape, const Vec3 &position)
+{
+    RigidBody body;
+    body.shape_ = shape;
+    body.pos = position;
+    body.mass_ = 0.0f;
+    body.invMass_ = 0.0f;
+    body.inertiaBody_ = {};
+    body.invInertiaBody_ = {};
+    body.invInertiaWorld_ = {};
+    body.static_ = true;
+    return body;
+}
+
+void
+RigidBody::updateDerived()
+{
+    if (static_)
+        return;
+    // These derived quantities feed every later phase; compute them at
+    // full precision like the integrator does.
+    fp::ScopedFullPrecision full;
+    const Mat33 r = orient.toMat33();
+    invInertiaWorld_ =
+        r * Mat33::diagonal(invInertiaBody_) * r.transposed();
+}
+
+void
+RigidBody::applyImpulse(const Vec3 &impulse, const Vec3 &point)
+{
+    if (static_)
+        return;
+    linVel += impulse * invMass_;
+    angVel += invInertiaWorld_ * (point - pos).cross(impulse);
+    wake();
+}
+
+void
+RigidBody::applyLinearImpulse(const Vec3 &impulse)
+{
+    if (static_)
+        return;
+    linVel += impulse * invMass_;
+    wake();
+}
+
+void
+RigidBody::wake()
+{
+    if (static_)
+        return;
+    asleep_ = false;
+    sleepFrames = 0;
+}
+
+void
+RigidBody::sleep()
+{
+    if (static_)
+        return;
+    asleep_ = true;
+    linVel = {};
+    angVel = {};
+}
+
+Aabb
+RigidBody::aabb() const
+{
+    switch (shape_.type) {
+      case Shape::Type::Sphere: {
+        const Vec3 r{shape_.radius, shape_.radius, shape_.radius};
+        return {pos - r, pos + r};
+      }
+      case Shape::Type::Box: {
+        // Extent of a rotated box along each world axis.
+        const Mat33 rot = orient.toMat33();
+        const Vec3 &h = shape_.halfExtents;
+        const Vec3 ext{
+            std::fabs(rot.r0.x) * h.x + std::fabs(rot.r0.y) * h.y +
+                std::fabs(rot.r0.z) * h.z,
+            std::fabs(rot.r1.x) * h.x + std::fabs(rot.r1.y) * h.y +
+                std::fabs(rot.r1.z) * h.z,
+            std::fabs(rot.r2.x) * h.x + std::fabs(rot.r2.y) * h.y +
+                std::fabs(rot.r2.z) * h.z};
+        return {pos - ext, pos + ext};
+      }
+      case Shape::Type::Capsule: {
+        // Segment endpoints along the rotated Y axis, inflated by r.
+        const Vec3 axis = orient.rotate({0.0f, shape_.halfLength, 0.0f});
+        const Vec3 ext{std::fabs(axis.x) + shape_.radius,
+                       std::fabs(axis.y) + shape_.radius,
+                       std::fabs(axis.z) + shape_.radius};
+        return {pos - ext, pos + ext};
+      }
+      case Shape::Type::Plane: {
+        constexpr float kHuge = 1e18f;
+        return {{-kHuge, -kHuge, -kHuge}, {kHuge, kHuge, kHuge}};
+      }
+    }
+    return {};
+}
+
+bool
+RigidBody::stateFinite() const
+{
+    return pos.finite() && linVel.finite() && angVel.finite() &&
+        orient.finite();
+}
+
+} // namespace phys
+} // namespace hfpu

@@ -1,0 +1,119 @@
+#ifndef HFPU_PHYS_BODY_H
+#define HFPU_PHYS_BODY_H
+
+/**
+ * @file
+ * Rigid body state: mass properties, pose, velocities, accumulated
+ * force/torque, and the sleep ("object disabling") machinery the paper
+ * relies on for trivialization.
+ */
+
+#include <cstdint>
+
+#include "math/mat33.h"
+#include "math/quat.h"
+#include "math/vec3.h"
+#include "phys/shape.h"
+
+namespace hfpu {
+namespace phys {
+
+using math::Mat33;
+using math::Quat;
+using math::Vec3;
+
+/** Identifier of a body within its world. */
+using BodyId = int32_t;
+
+/** A rigid body (cloth particles are small spheres of this type too). */
+class RigidBody
+{
+  public:
+    /** Create a dynamic body; mass must be positive. */
+    RigidBody(const Shape &shape, float mass, const Vec3 &pos);
+
+    /** Create a static (infinite-mass, immovable) body. */
+    static RigidBody makeStatic(const Shape &shape, const Vec3 &pos);
+
+    /** @name Mass properties. */
+    /** @{ */
+    float mass() const { return mass_; }
+    float invMass() const { return invMass_; }
+    /** Body-frame principal inertia diagonal. */
+    const Vec3 &inertiaBody() const { return inertiaBody_; }
+    const Vec3 &invInertiaBody() const { return invInertiaBody_; }
+    /** World-frame inverse inertia (refreshed by updateDerived()). */
+    const Mat33 &invInertiaWorld() const { return invInertiaWorld_; }
+    bool isStatic() const { return static_; }
+    /** @} */
+
+    /** @name Pose and velocity. */
+    /** @{ */
+    Vec3 pos;
+    Quat orient;
+    Vec3 linVel;
+    Vec3 angVel;
+    /** @} */
+
+    /** @name Per-step force/torque accumulators. */
+    /** @{ */
+    Vec3 force;
+    Vec3 torque;
+    /** @} */
+
+    /** @name Material. */
+    /** @{ */
+    float restitution = 0.2f;
+    float friction = 0.5f;
+    /** @} */
+
+    const Shape &shape() const { return shape_; }
+
+    /** Refresh world-frame inverse inertia from the orientation. */
+    void updateDerived();
+
+    /** Velocity of a world-space point rigidly attached to the body. */
+    Vec3
+    velocityAt(const Vec3 &point) const
+    {
+        return linVel + angVel.cross(point - pos);
+    }
+
+    /** Apply an impulse at a world-space point (wakes the body). */
+    void applyImpulse(const Vec3 &impulse, const Vec3 &point);
+
+    /** Apply a central impulse (wakes the body). */
+    void applyLinearImpulse(const Vec3 &impulse);
+
+    /** @name Sleeping ("object disabling"). */
+    /** @{ */
+    bool asleep() const { return asleep_; }
+    void wake();
+    void sleep();
+    /** Steps spent below the sleep velocity threshold. */
+    int sleepFrames = 0;
+    /** @} */
+
+    /** World AABB of the body's shape at its current pose. */
+    Aabb aabb() const;
+
+    /** True if pose and velocities are finite (blow-up detection). */
+    bool stateFinite() const;
+
+  private:
+    RigidBody() = default;
+
+    Shape shape_;
+    float mass_ = 1.0f;
+    float invMass_ = 1.0f;
+    Vec3 inertiaBody_;
+    Vec3 invInertiaBody_;
+    Mat33 invInertiaWorld_;
+    bool static_ = false;
+    bool asleep_ = false;
+};
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_BODY_H

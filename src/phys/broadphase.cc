@@ -1,0 +1,59 @@
+#include "phys/broadphase.h"
+
+#include <algorithm>
+
+namespace hfpu {
+namespace phys {
+
+std::vector<BodyPair>
+sweepAndPrune(const std::vector<RigidBody> &bodies, float margin)
+{
+    struct Interval {
+        float minX, maxX;
+        Aabb box;
+        BodyId id;
+    };
+
+    std::vector<Interval> intervals;
+    intervals.reserve(bodies.size());
+    const Vec3 m{margin, margin, margin};
+    for (BodyId i = 0; i < static_cast<BodyId>(bodies.size()); ++i) {
+        Aabb box = bodies[i].aabb();
+        box.min -= m;
+        box.max += m;
+        intervals.push_back({box.min.x, box.max.x, box, i});
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.minX < b.minX;
+              });
+
+    std::vector<BodyPair> pairs;
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        const Interval &a = intervals[i];
+        for (size_t j = i + 1; j < intervals.size(); ++j) {
+            const Interval &b = intervals[j];
+            if (b.minX > a.maxX)
+                break; // sorted: no later interval can overlap
+            const RigidBody &ba = bodies[a.id];
+            const RigidBody &bb = bodies[b.id];
+            if (ba.isStatic() && bb.isStatic())
+                continue;
+            if (ba.asleep() && bb.asleep())
+                continue;
+            if ((ba.isStatic() && bb.asleep()) ||
+                (bb.isStatic() && ba.asleep())) {
+                continue;
+            }
+            if (!a.box.overlaps(b.box))
+                continue;
+            // Canonical order keeps narrow-phase dispatch simple.
+            pairs.push_back(a.id < b.id ? BodyPair{a.id, b.id}
+                                        : BodyPair{b.id, a.id});
+        }
+    }
+    return pairs;
+}
+
+} // namespace phys
+} // namespace hfpu

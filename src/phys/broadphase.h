@@ -1,0 +1,32 @@
+#ifndef HFPU_PHYS_BROADPHASE_H
+#define HFPU_PHYS_BROADPHASE_H
+
+/**
+ * @file
+ * Broad-phase collision culling: sort-and-sweep over world AABBs on the
+ * x axis, with full y/z AABB rejection. Static-static pairs are never
+ * emitted, and pairs where both bodies sleep are skipped (nothing can
+ * change between them).
+ */
+
+#include <vector>
+
+#include "phys/body.h"
+#include "phys/contact.h"
+
+namespace hfpu {
+namespace phys {
+
+/**
+ * Compute candidate pairs for the narrow phase.
+ *
+ * @param bodies all bodies in the world (index == BodyId)
+ * @param margin AABB inflation applied on each side
+ */
+std::vector<BodyPair> sweepAndPrune(const std::vector<RigidBody> &bodies,
+                                    float margin = 0.01f);
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_BROADPHASE_H

@@ -1,0 +1,58 @@
+#include "phys/cloth.h"
+
+#include <cmath>
+
+namespace hfpu {
+namespace phys {
+
+Cloth
+buildCloth(World &world, const Vec3 &origin, const ClothParams &params)
+{
+    Cloth cloth;
+    cloth.nx = params.nx;
+    cloth.nz = params.nz;
+    const float radius = params.radiusFactor * params.spacing;
+
+    for (int iz = 0; iz < params.nz; ++iz) {
+        for (int ix = 0; ix < params.nx; ++ix) {
+            const Vec3 pos{origin.x + params.spacing * ix, origin.y,
+                           origin.z + params.spacing * iz};
+            const bool pinned = params.pinCorners && iz == 0 &&
+                (ix == 0 || ix == params.nx - 1);
+            if (pinned) {
+                cloth.particles.push_back(world.addBody(
+                    RigidBody::makeStatic(Shape::sphere(radius), pos)));
+            } else {
+                cloth.particles.push_back(world.addBody(RigidBody(
+                    Shape::sphere(radius), params.particleMass, pos)));
+            }
+        }
+    }
+
+    auto link = [&](int ax, int az, int bx, int bz) {
+        const BodyId a = cloth.at(ax, az);
+        const BodyId b = cloth.at(bx, bz);
+        if (world.body(a).isStatic() && world.body(b).isStatic())
+            return;
+        world.addJoint(std::make_unique<DistanceJoint>(
+            a, b, distance(world.body(a).pos, world.body(b).pos)));
+    };
+
+    for (int iz = 0; iz < params.nz; ++iz) {
+        for (int ix = 0; ix < params.nx; ++ix) {
+            if (ix + 1 < params.nx)
+                link(ix, iz, ix + 1, iz); // structural x
+            if (iz + 1 < params.nz)
+                link(ix, iz, ix, iz + 1); // structural z
+            if (params.shearLinks && ix + 1 < params.nx &&
+                iz + 1 < params.nz) {
+                link(ix, iz, ix + 1, iz + 1);
+                link(ix + 1, iz, ix, iz + 1);
+            }
+        }
+    }
+    return cloth;
+}
+
+} // namespace phys
+} // namespace hfpu

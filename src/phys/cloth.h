@@ -1,0 +1,54 @@
+#ifndef HFPU_PHYS_CLOTH_H
+#define HFPU_PHYS_CLOTH_H
+
+/**
+ * @file
+ * Cloth construction: a grid of small particle bodies linked by
+ * distance joints (structural + shear), the deformable-body support the
+ * modified ODE of the paper added. Particles reuse the whole rigid-body
+ * pipeline (collision, LCP, energy monitoring, precision reduction).
+ */
+
+#include <vector>
+
+#include "phys/world.h"
+
+namespace hfpu {
+namespace phys {
+
+/** Handle to a constructed cloth patch. */
+struct Cloth {
+    int nx = 0;             //!< particles along x
+    int nz = 0;             //!< particles along z
+    std::vector<BodyId> particles; //!< row-major nx * nz
+
+    BodyId
+    at(int ix, int iz) const
+    {
+        return particles[static_cast<size_t>(iz) * nx + ix];
+    }
+};
+
+/** Cloth construction parameters. */
+struct ClothParams {
+    int nx = 8;
+    int nz = 8;
+    float spacing = 0.25f;
+    float particleMass = 0.05f;
+    /** Particle collision radius as a fraction of spacing. */
+    float radiusFactor = 0.2f;
+    bool pinCorners = false; //!< pin the two +z corners with statics
+    bool shearLinks = true;  //!< add diagonal constraints
+};
+
+/**
+ * Build a horizontal cloth patch whose (0,0) particle sits at
+ * @p origin, extending along +x and +z.
+ */
+Cloth buildCloth(World &world, const Vec3 &origin,
+                 const ClothParams &params);
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_CLOTH_H

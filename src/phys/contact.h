@@ -1,0 +1,38 @@
+#ifndef HFPU_PHYS_CONTACT_H
+#define HFPU_PHYS_CONTACT_H
+
+/**
+ * @file
+ * Contact points produced by the narrow phase and consumed by the LCP
+ * solver.
+ */
+
+#include <vector>
+
+#include "math/vec3.h"
+#include "phys/body.h"
+
+namespace hfpu {
+namespace phys {
+
+/** One contact point between two bodies. */
+struct Contact {
+    BodyId a = -1;          //!< first body
+    BodyId b = -1;          //!< second body
+    Vec3 pos;               //!< world-space contact point
+    Vec3 normal;            //!< unit normal, pointing from a to b
+    float depth = 0.0f;     //!< penetration depth (>= 0)
+};
+
+/** A broad-phase candidate pair. */
+struct BodyPair {
+    BodyId a = -1;
+    BodyId b = -1;
+};
+
+using ContactList = std::vector<Contact>;
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_CONTACT_H

@@ -1,0 +1,62 @@
+#include "phys/controller.h"
+
+#include <algorithm>
+
+namespace hfpu {
+namespace phys {
+
+PrecisionController::PrecisionController(const PrecisionPolicy &policy)
+    : policy_(policy),
+      monitor_(policy.energyThreshold, policy.blowupFactor),
+      narrowBits_(policy.minNarrowBits), lcpBits_(policy.minLcpBits)
+{
+}
+
+void
+PrecisionController::beginStep()
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setRoundingMode(policy_.roundingMode);
+    ctx.setMantissaBits(fp::Phase::Narrow, narrowBits_);
+    ctx.setMantissaBits(fp::Phase::Lcp, lcpBits_);
+}
+
+PrecisionController::Action
+PrecisionController::endStep(double energy, double injected, bool finite)
+{
+    switch (monitor_.observe(energy, injected, finite)) {
+      case EnergyMonitor::Verdict::BlowUp:
+        ++reexecutions_;
+        forceFullPrecisionStep();
+        return Action::RequestReexecute;
+      case EnergyMonitor::Verdict::Violation:
+        // Throttle up to full precision to head off instability.
+        ++violations_;
+        narrowBits_ = fp::kFullMantissaBits;
+        lcpBits_ = fp::kFullMantissaBits;
+        return Action::Continue;
+      case EnergyMonitor::Verdict::Ok:
+        // Decay one bit per quiet step back toward the programmed
+        // minimums.
+        narrowBits_ = std::max(narrowBits_ - 1, policy_.minNarrowBits);
+        lcpBits_ = std::max(lcpBits_ - 1, policy_.minLcpBits);
+        return Action::Continue;
+    }
+    return Action::Continue;
+}
+
+void
+PrecisionController::forceFullPrecisionStep()
+{
+    narrowBits_ = fp::kFullMantissaBits;
+    lcpBits_ = fp::kFullMantissaBits;
+}
+
+void
+PrecisionController::restartEnergyHistory(double energy)
+{
+    monitor_.restart(energy);
+}
+
+} // namespace phys
+} // namespace hfpu

@@ -1,0 +1,87 @@
+#ifndef HFPU_PHYS_CONTROLLER_H
+#define HFPU_PHYS_CONTROLLER_H
+
+/**
+ * @file
+ * The dynamic precision controller (Section 4.2): the software half of
+ * the paper's HW/SW co-design. The developer programs a per-phase
+ * minimum mantissa width (the "control register"); at runtime the
+ * controller throttles precision up to full on an energy violation and
+ * decays it back down by one bit per quiet step. A blow-up re-executes
+ * the previous step at full precision (the fail-safe).
+ */
+
+#include "fp/precision.h"
+#include "phys/energy.h"
+
+namespace hfpu {
+namespace phys {
+
+/** Developer-programmed precision policy. */
+struct PrecisionPolicy {
+    /** Minimum mantissa bits for the narrow phase (23 = never reduce). */
+    int minNarrowBits = fp::kFullMantissaBits;
+    /** Minimum mantissa bits for the LCP phase. */
+    int minLcpBits = fp::kFullMantissaBits;
+    fp::RoundingMode roundingMode = fp::RoundingMode::Jamming;
+    /** Relative net energy gain triggering a throttle-up. */
+    double energyThreshold = 0.10;
+    /** Gain (in units of the threshold) treated as a blow-up. */
+    double blowupFactor = 10.0;
+};
+
+/**
+ * Runtime precision state machine. The world calls beginStep() before
+ * simulating and endStep() after computing the step's energy; a
+ * RequestReexecute result means the world should restore its snapshot
+ * and redo the step at full precision.
+ */
+class PrecisionController
+{
+  public:
+    enum class Action { Continue, RequestReexecute };
+
+    explicit PrecisionController(const PrecisionPolicy &policy);
+
+    /** Install the current widths/mode into the thread's context. */
+    void beginStep();
+
+    /**
+     * Digest the step's energy reading and update the widths.
+     *
+     * @param energy   post-step total energy
+     * @param injected externally injected energy during the step
+     * @param finite   whether the world state is finite
+     */
+    Action endStep(double energy, double injected, bool finite);
+
+    /** Arm one full-precision step (used for re-execution). */
+    void forceFullPrecisionStep();
+
+    /** Reset history after the world restored a snapshot. */
+    void restartEnergyHistory(double energy);
+
+    const PrecisionPolicy &policy() const { return policy_; }
+    int currentNarrowBits() const { return narrowBits_; }
+    int currentLcpBits() const { return lcpBits_; }
+    const EnergyMonitor &monitor() const { return monitor_; }
+
+    /** @name Event counters. */
+    /** @{ */
+    int violations() const { return violations_; }
+    int reexecutions() const { return reexecutions_; }
+    /** @} */
+
+  private:
+    PrecisionPolicy policy_;
+    EnergyMonitor monitor_;
+    int narrowBits_;
+    int lcpBits_;
+    int violations_ = 0;
+    int reexecutions_ = 0;
+};
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_CONTROLLER_H

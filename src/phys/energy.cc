@@ -1,0 +1,79 @@
+#include "phys/energy.h"
+
+#include <cmath>
+
+namespace hfpu {
+namespace phys {
+
+EnergyBreakdown
+computeEnergy(const std::vector<RigidBody> &bodies, const Vec3 &gravity)
+{
+    EnergyBreakdown e;
+    const double gx = gravity.x, gy = gravity.y, gz = gravity.z;
+    for (const RigidBody &body : bodies) {
+        if (body.isStatic())
+            continue;
+        const double m = body.mass();
+        const double vx = body.linVel.x, vy = body.linVel.y,
+                     vz = body.linVel.z;
+        e.kinetic += 0.5 * m * (vx * vx + vy * vy + vz * vz);
+        // Rotational energy in the body frame where inertia is diagonal.
+        const Vec3 w_body =
+            body.orient.conjugate().rotate(body.angVel);
+        const Vec3 i_diag = body.inertiaBody();
+        e.rotational += 0.5 *
+            (static_cast<double>(i_diag.x) * w_body.x * w_body.x +
+             static_cast<double>(i_diag.y) * w_body.y * w_body.y +
+             static_cast<double>(i_diag.z) * w_body.z * w_body.z);
+        // PE = -m g . x (zero at the origin).
+        e.potential -= m * (gx * body.pos.x + gy * body.pos.y +
+                            gz * body.pos.z);
+    }
+    return e;
+}
+
+EnergyMonitor::EnergyMonitor(double threshold, double blowup_factor)
+    : threshold_(threshold), blowupFactor_(blowup_factor)
+{
+}
+
+EnergyMonitor::Verdict
+EnergyMonitor::observe(double energy, double injected, bool finite)
+{
+    if (!finite || !std::isfinite(energy)) {
+        lastDelta_ = std::numeric_limits<double>::infinity();
+        return Verdict::BlowUp;
+    }
+    if (!hasHistory_) {
+        hasHistory_ = true;
+        lastEnergy_ = energy;
+        lastDelta_ = 0.0;
+        return Verdict::Ok;
+    }
+    // Net gain relative to the previous step, with a floor so scenes
+    // near zero total energy do not divide by ~0. Losses (friction,
+    // restitution < 1) are physical and never flagged.
+    const double floor_e = std::max(std::fabs(lastEnergy_), 1.0);
+    const double gain = energy - lastEnergy_ - injected;
+    lastDelta_ = gain / floor_e;
+
+    Verdict verdict = Verdict::Ok;
+    if (lastDelta_ > threshold_ * blowupFactor_)
+        verdict = Verdict::BlowUp;
+    else if (lastDelta_ > threshold_)
+        verdict = Verdict::Violation;
+
+    lastEnergy_ = energy;
+    return verdict;
+}
+
+void
+EnergyMonitor::restart(double energy)
+{
+    hasHistory_ = true;
+    lastEnergy_ = energy;
+    lastDelta_ = 0.0;
+}
+
+} // namespace phys
+} // namespace hfpu

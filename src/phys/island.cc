@@ -1,0 +1,101 @@
+#include "phys/island.h"
+
+#include <numeric>
+
+namespace hfpu {
+namespace phys {
+
+namespace {
+
+/** Union-find with path compression. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        const int ra = find(a);
+        const int rb = find(b);
+        if (ra != rb)
+            parent_[ra] = rb;
+    }
+
+  private:
+    std::vector<int> parent_;
+};
+
+} // namespace
+
+std::vector<Island>
+buildIslands(const std::vector<RigidBody> &bodies,
+             const ContactList &contacts,
+             const std::vector<std::unique_ptr<Joint>> &joints)
+{
+    UnionFind uf(bodies.size());
+    auto canMerge = [&](BodyId a, BodyId b) {
+        return !bodies[a].isStatic() && !bodies[b].isStatic();
+    };
+    for (const Contact &c : contacts) {
+        if (canMerge(c.a, c.b))
+            uf.unite(c.a, c.b);
+    }
+    for (const auto &j : joints) {
+        if (!j->broken() && canMerge(j->bodyA(), j->bodyB()))
+            uf.unite(j->bodyA(), j->bodyB());
+    }
+
+    // Map each root that owns at least one constraint or dynamic body
+    // to an island slot.
+    std::vector<int> island_of(bodies.size(), -1);
+    std::vector<Island> islands;
+    auto islandFor = [&](BodyId body) -> int {
+        const int root = uf.find(body);
+        if (island_of[root] < 0) {
+            island_of[root] = static_cast<int>(islands.size());
+            islands.emplace_back();
+        }
+        return island_of[root];
+    };
+
+    for (BodyId i = 0; i < static_cast<BodyId>(bodies.size()); ++i) {
+        if (bodies[i].isStatic())
+            continue;
+        islands[islandFor(i)].bodies.push_back(i);
+    }
+    for (int ci = 0; ci < static_cast<int>(contacts.size()); ++ci) {
+        const Contact &c = contacts[ci];
+        const BodyId anchor = bodies[c.a].isStatic() ? c.b : c.a;
+        if (bodies[anchor].isStatic())
+            continue; // static-static: nothing to solve
+        islands[islandFor(anchor)].contactIndices.push_back(ci);
+    }
+    for (int ji = 0; ji < static_cast<int>(joints.size()); ++ji) {
+        const auto &j = joints[ji];
+        if (j->broken())
+            continue;
+        const BodyId anchor =
+            bodies[j->bodyA()].isStatic() ? j->bodyB() : j->bodyA();
+        if (bodies[anchor].isStatic())
+            continue;
+        islands[islandFor(anchor)].jointIndices.push_back(ji);
+    }
+    return islands;
+}
+
+} // namespace phys
+} // namespace hfpu

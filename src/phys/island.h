@@ -1,0 +1,38 @@
+#ifndef HFPU_PHYS_ISLAND_H
+#define HFPU_PHYS_ISLAND_H
+
+/**
+ * @file
+ * Island partitioning: groups of bodies connected by contacts or
+ * joints. Each island's LCP is independent, which is the source of the
+ * coarse-grain parallelism the paper exploits in the LCP phase.
+ */
+
+#include <vector>
+
+#include "phys/contact.h"
+#include "phys/joint.h"
+
+namespace hfpu {
+namespace phys {
+
+/** One island: member bodies plus indices of its contacts/joints. */
+struct Island {
+    std::vector<BodyId> bodies;
+    std::vector<int> contactIndices; //!< into the step's ContactList
+    std::vector<int> jointIndices;   //!< into the world's joint list
+};
+
+/**
+ * Partition this step's constraint graph into islands. Static bodies do
+ * not merge islands (they belong to every island they touch but are not
+ * listed as members). Joints that are broken are ignored.
+ */
+std::vector<Island> buildIslands(
+    const std::vector<RigidBody> &bodies, const ContactList &contacts,
+    const std::vector<std::unique_ptr<Joint>> &joints);
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_ISLAND_H

@@ -1,0 +1,674 @@
+#include "phys/narrowphase.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "fp/precision.h"
+#include "math/mat33.h"
+
+namespace hfpu {
+namespace phys {
+
+using math::Mat33;
+
+namespace {
+
+using fp::fadd;
+using fp::fmul;
+using fp::fsub;
+
+// ------------------------------------------------------------- spheres
+
+int
+collideSphereSphere(const RigidBody &a, BodyId ia, const RigidBody &b,
+                    BodyId ib, ContactList &out)
+{
+    const Vec3 d = b.pos - a.pos;
+    const float dist = d.length();
+    const float rsum = fadd(a.shape().radius, b.shape().radius);
+    if (!(dist < rsum))
+        return 0;
+    Vec3 n = dist > 1e-9f ? d * fp::fdiv(1.0f, dist)
+                          : Vec3{0.0f, 1.0f, 0.0f};
+    Contact c;
+    c.a = ia;
+    c.b = ib;
+    c.normal = n;
+    c.depth = fsub(rsum, dist);
+    c.pos = a.pos + n * fsub(a.shape().radius, fmul(0.5f, c.depth));
+    out.push_back(c);
+    return 1;
+}
+
+int
+collideSpherePlane(const RigidBody &sphere, BodyId is,
+                   const RigidBody &plane, BodyId ip, ContactList &out)
+{
+    const Vec3 &n = plane.shape().normal;
+    const float h =
+        fsub(fsub(sphere.pos.dot(n), plane.shape().offset),
+             sphere.shape().radius);
+    if (!(h < 0.0f))
+        return 0;
+    Contact c;
+    c.a = is;
+    c.b = ip;
+    c.normal = -n; // from sphere toward plane
+    c.depth = -h;
+    c.pos = sphere.pos - n * sphere.shape().radius;
+    out.push_back(c);
+    return 1;
+}
+
+// ---------------------------------------------------------------- boxes
+
+/** World-frame box face description. */
+struct BoxFrame {
+    Vec3 center;
+    Mat33 rot;     // columns are the box axes in world frame
+    Vec3 half;
+};
+
+BoxFrame
+frameOf(const RigidBody &body)
+{
+    return {body.pos, body.orient.toMat33(), body.shape().halfExtents};
+}
+
+float
+halfComponent(const Vec3 &h, int axis)
+{
+    return axis == 0 ? h.x : axis == 1 ? h.y : h.z;
+}
+
+/** All 8 world-space corners of a box. */
+std::array<Vec3, 8>
+boxCorners(const BoxFrame &box)
+{
+    std::array<Vec3, 8> corners;
+    int k = 0;
+    for (int sx : {-1, 1}) {
+        for (int sy : {-1, 1}) {
+            for (int sz : {-1, 1}) {
+                const Vec3 local{static_cast<float>(sx) * box.half.x,
+                                 static_cast<float>(sy) * box.half.y,
+                                 static_cast<float>(sz) * box.half.z};
+                corners[k++] = box.center + box.rot * local;
+            }
+        }
+    }
+    return corners;
+}
+
+int
+collideBoxPlane(const RigidBody &box, BodyId ibox, const RigidBody &plane,
+                BodyId ip, ContactList &out)
+{
+    const Vec3 &n = plane.shape().normal;
+    const float off = plane.shape().offset;
+    int added = 0;
+    for (const Vec3 &corner : boxCorners(frameOf(box))) {
+        const float h = fsub(corner.dot(n), off);
+        if (h < 0.0f) {
+            Contact c;
+            c.a = ibox;
+            c.b = ip;
+            c.normal = -n;
+            c.depth = -h;
+            c.pos = corner;
+            out.push_back(c);
+            ++added;
+        }
+    }
+    // Keep at most the 4 deepest corner contacts for a stable manifold.
+    if (added > 4) {
+        std::sort(out.end() - added, out.end(),
+                  [](const Contact &x, const Contact &y) {
+                      return x.depth > y.depth;
+                  });
+        out.erase(out.end() - (added - 4), out.end());
+        added = 4;
+    }
+    return added;
+}
+
+int
+collideSphereBox(const RigidBody &sphere, BodyId is, const RigidBody &box,
+                 BodyId ib, bool sphere_first, ContactList &out)
+{
+    const BoxFrame f = frameOf(box);
+    // Sphere center in box-local coordinates.
+    const Vec3 rel = sphere.pos - f.center;
+    const Vec3 local{rel.dot(f.rot.column(0)), rel.dot(f.rot.column(1)),
+                     rel.dot(f.rot.column(2))};
+    const Vec3 clamped{
+        std::clamp(local.x, -f.half.x, f.half.x),
+        std::clamp(local.y, -f.half.y, f.half.y),
+        std::clamp(local.z, -f.half.z, f.half.z)};
+    const Vec3 closest = f.center + f.rot * clamped;
+    const Vec3 d = sphere.pos - closest;
+    const float dist = d.length();
+    const float r = sphere.shape().radius;
+    Vec3 n;
+    float depth;
+    if (dist > 1e-9f) {
+        if (!(dist < r))
+            return 0;
+        n = d * fp::fdiv(1.0f, dist); // box -> sphere
+        depth = fsub(r, dist);
+    } else {
+        // Center inside the box: push out along the face of least
+        // penetration.
+        const float dx = fsub(f.half.x, std::fabs(local.x));
+        const float dy = fsub(f.half.y, std::fabs(local.y));
+        const float dz = fsub(f.half.z, std::fabs(local.z));
+        if (dx <= dy && dx <= dz) {
+            n = f.rot.column(0) * (local.x < 0.0f ? -1.0f : 1.0f);
+            depth = fadd(dx, r);
+        } else if (dy <= dz) {
+            n = f.rot.column(1) * (local.y < 0.0f ? -1.0f : 1.0f);
+            depth = fadd(dy, r);
+        } else {
+            n = f.rot.column(2) * (local.z < 0.0f ? -1.0f : 1.0f);
+            depth = fadd(dz, r);
+        }
+    }
+    Contact c;
+    c.depth = depth;
+    c.pos = closest;
+    if (sphere_first) {
+        c.a = is;
+        c.b = ib;
+        c.normal = -n; // from sphere toward box
+    } else {
+        c.a = ib;
+        c.b = is;
+        c.normal = n;
+    }
+    out.push_back(c);
+    return 1;
+}
+
+// -------------------------------------------------------------- capsules
+
+// Defined with the box-box SAT machinery below.
+void closestEdgePoints(const Vec3 &p1, const Vec3 &d1, const Vec3 &p2,
+                       const Vec3 &d2, Vec3 &c1, Vec3 &c2);
+
+/** World-space endpoints of a capsule's core segment. */
+void
+capsuleSegment(const RigidBody &body, Vec3 &p0, Vec3 &p1)
+{
+    const Vec3 axis =
+        body.orient.rotate({0.0f, body.shape().halfLength, 0.0f});
+    p0 = body.pos - axis;
+    p1 = body.pos + axis;
+}
+
+/** Closest point on segment [p0, p1] to point q. */
+Vec3
+closestOnSegment(const Vec3 &p0, const Vec3 &p1, const Vec3 &q)
+{
+    const Vec3 d = p1 - p0;
+    const float len2 = d.lengthSq();
+    if (len2 < 1e-12f)
+        return p0;
+    const float t =
+        std::clamp(fp::fdiv((q - p0).dot(d), len2), 0.0f, 1.0f);
+    return p0 + d * t;
+}
+
+/** Emit a sphere-vs-sphere style contact between two fat points. */
+int
+fatPointContact(const Vec3 &ca, float ra, BodyId ia, const Vec3 &cb,
+                float rb, BodyId ib, ContactList &out)
+{
+    const Vec3 d = cb - ca;
+    const float dist = d.length();
+    const float rsum = fadd(ra, rb);
+    if (!(dist < rsum))
+        return 0;
+    const Vec3 n = dist > 1e-9f ? d * fp::fdiv(1.0f, dist)
+                                : Vec3{0.0f, 1.0f, 0.0f};
+    Contact c;
+    c.a = ia;
+    c.b = ib;
+    c.normal = n;
+    c.depth = fsub(rsum, dist);
+    c.pos = ca + n * fsub(ra, fmul(0.5f, c.depth));
+    out.push_back(c);
+    return 1;
+}
+
+int
+collideCapsulePlane(const RigidBody &capsule, BodyId ic,
+                    const RigidBody &plane, BodyId ip, ContactList &out)
+{
+    const Vec3 &n = plane.shape().normal;
+    const float off = plane.shape().offset;
+    const float r = capsule.shape().radius;
+    Vec3 p0, p1;
+    capsuleSegment(capsule, p0, p1);
+    int added = 0;
+    for (const Vec3 &p : {p0, p1}) {
+        const float h = fsub(fsub(p.dot(n), off), r);
+        if (h < 0.0f) {
+            Contact c;
+            c.a = ic;
+            c.b = ip;
+            c.normal = -n;
+            c.depth = -h;
+            c.pos = p - n * r;
+            out.push_back(c);
+            ++added;
+        }
+    }
+    return added;
+}
+
+int
+collideCapsuleSphere(const RigidBody &capsule, BodyId ic,
+                     const RigidBody &sphere, BodyId is, ContactList &out)
+{
+    Vec3 p0, p1;
+    capsuleSegment(capsule, p0, p1);
+    const Vec3 on_seg = closestOnSegment(p0, p1, sphere.pos);
+    return fatPointContact(on_seg, capsule.shape().radius, ic,
+                           sphere.pos, sphere.shape().radius, is, out);
+}
+
+int
+collideCapsuleCapsule(const RigidBody &a, BodyId ia, const RigidBody &b,
+                      BodyId ib, ContactList &out)
+{
+    Vec3 a0, a1, b0, b1;
+    capsuleSegment(a, a0, a1);
+    capsuleSegment(b, b0, b1);
+    // closestEdgePoints works on center +/- half-dir parameterization.
+    Vec3 pa, pb;
+    closestEdgePoints((a0 + a1) * 0.5f, (a1 - a0) * 0.5f,
+                      (b0 + b1) * 0.5f, (b1 - b0) * 0.5f, pa, pb);
+    return fatPointContact(pa, a.shape().radius, ia, pb,
+                           b.shape().radius, ib, out);
+}
+
+int
+collideCapsuleBox(const RigidBody &capsule, BodyId ic, const RigidBody &box,
+                  BodyId ib, ContactList &out)
+{
+    const BoxFrame f = frameOf(box);
+    Vec3 p0, p1;
+    capsuleSegment(capsule, p0, p1);
+
+    auto closestOnBox = [&](const Vec3 &q) {
+        const Vec3 rel = q - f.center;
+        const Vec3 local{rel.dot(f.rot.column(0)),
+                         rel.dot(f.rot.column(1)),
+                         rel.dot(f.rot.column(2))};
+        const Vec3 clamped{std::clamp(local.x, -f.half.x, f.half.x),
+                           std::clamp(local.y, -f.half.y, f.half.y),
+                           std::clamp(local.z, -f.half.z, f.half.z)};
+        return f.center + f.rot * clamped;
+    };
+    auto distAt = [&](float t) {
+        const Vec3 q = p0 + (p1 - p0) * t;
+        return (q - closestOnBox(q)).lengthSq();
+    };
+    // Point-to-box distance is convex along the segment: ternary
+    // search for the closest parameter.
+    float lo = 0.0f, hi = 1.0f;
+    for (int i = 0; i < 24; ++i) {
+        const float m1 = lo + (hi - lo) / 3.0f;
+        const float m2 = hi - (hi - lo) / 3.0f;
+        if (distAt(m1) <= distAt(m2))
+            hi = m2;
+        else
+            lo = m1;
+    }
+    const float t = 0.5f * (lo + hi);
+    const Vec3 q = p0 + (p1 - p0) * t;
+    const Vec3 on_box = closestOnBox(q);
+    const Vec3 d = q - on_box;
+    const float dist = d.length();
+    const float r = capsule.shape().radius;
+    if (dist > 1e-9f) {
+        if (!(dist < r))
+            return 0;
+        Contact c;
+        c.a = ic;
+        c.b = ib;
+        c.normal = d * fp::fdiv(-1.0f, dist); // capsule -> box
+        c.depth = fsub(r, dist);
+        c.pos = on_box;
+        out.push_back(c);
+        return 1;
+    }
+    // Segment point inside the box: delegate to the sphere-inside-box
+    // least-penetration logic via a synthetic sphere body.
+    RigidBody probe(Shape::sphere(r), 1.0f, q);
+    return collideSphereBox(probe, ic, box, ib, true, out);
+}
+
+// Box-box: separating-axis test plus reference-face clipping.
+
+struct SatResult {
+    bool separated = false;
+    float depth = 0.0f;  // smallest overlap
+    Vec3 axis;           // world axis, pointing from A toward B
+    int axisKind = 0;    // 0..5: face axes (0-2 A, 3-5 B); 6+: edge
+    int edgeA = 0, edgeB = 0;
+};
+
+/** Projection radius of a box onto a unit axis. */
+float
+projectRadius(const BoxFrame &box, const Vec3 &axis)
+{
+    return fadd(fadd(fmul(std::fabs(box.rot.column(0).dot(axis)),
+                          box.half.x),
+                     fmul(std::fabs(box.rot.column(1).dot(axis)),
+                          box.half.y)),
+                fmul(std::fabs(box.rot.column(2).dot(axis)),
+                     box.half.z));
+}
+
+SatResult
+separatingAxis(const BoxFrame &a, const BoxFrame &b)
+{
+    SatResult best;
+    best.depth = 1e30f;
+    float best_score = 1e30f;
+    const Vec3 d = b.center - a.center;
+
+    auto testAxis = [&](Vec3 axis, int kind, int ea, int eb,
+                        float bonus) -> bool {
+        const float len = axis.length();
+        if (len < 1e-6f)
+            return true; // degenerate (parallel edges): skip
+        axis = axis * fp::fdiv(1.0f, len);
+        const float dist = d.dot(axis);
+        const float overlap =
+            fsub(fadd(projectRadius(a, axis), projectRadius(b, axis)),
+                 std::fabs(dist));
+        if (overlap < 0.0f)
+            return false; // separated
+        // Favor face axes slightly (bonus > 1 penalizes edge axes):
+        // edge manifolds are single points and jitter under stacking.
+        const float score = overlap * bonus;
+        if (score < best_score) {
+            best_score = score;
+            best.depth = overlap;
+            best.axis = dist < 0.0f ? -axis : axis;
+            best.axisKind = kind;
+            best.edgeA = ea;
+            best.edgeB = eb;
+        }
+        return true;
+    };
+
+    for (int i = 0; i < 3; ++i) {
+        if (!testAxis(a.rot.column(i), i, 0, 0, 1.0f)) {
+            best.separated = true;
+            return best;
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        if (!testAxis(b.rot.column(i), 3 + i, 0, 0, 1.0f)) {
+            best.separated = true;
+            return best;
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            if (!testAxis(a.rot.column(i).cross(b.rot.column(j)),
+                          6 + i * 3 + j, i, j, 1.05f)) {
+                best.separated = true;
+                return best;
+            }
+        }
+    }
+    return best;
+}
+
+/** The 4 corners of the box face most anti-parallel to @p n. */
+std::array<Vec3, 4>
+incidentFace(const BoxFrame &box, const Vec3 &n)
+{
+    // Pick the face axis with the most negative dot with n.
+    int axis = 0;
+    float best = 1e30f;
+    float sign = 1.0f;
+    for (int i = 0; i < 3; ++i) {
+        const float dot = box.rot.column(i).dot(n);
+        if (dot < best) {
+            best = dot;
+            axis = i;
+            sign = 1.0f;
+        }
+        if (-dot < best) {
+            best = -dot;
+            axis = i;
+            sign = -1.0f;
+        }
+    }
+    const int u = (axis + 1) % 3;
+    const int v = (axis + 2) % 3;
+    const Vec3 c =
+        box.center + box.rot.column(axis) *
+            (sign * halfComponent(box.half, axis));
+    const Vec3 eu = box.rot.column(u) * halfComponent(box.half, u);
+    const Vec3 ev = box.rot.column(v) * halfComponent(box.half, v);
+    return {c + eu + ev, c + eu - ev, c - eu - ev, c - eu + ev};
+}
+
+/** Clip a polygon against the half-space n . x <= limit. */
+std::vector<Vec3>
+clipAgainst(const std::vector<Vec3> &poly, const Vec3 &n, float limit)
+{
+    std::vector<Vec3> out;
+    const size_t count = poly.size();
+    for (size_t i = 0; i < count; ++i) {
+        const Vec3 &p = poly[i];
+        const Vec3 &q = poly[(i + 1) % count];
+        const float dp = fsub(p.dot(n), limit);
+        const float dq = fsub(q.dot(n), limit);
+        if (dp <= 0.0f)
+            out.push_back(p);
+        if ((dp < 0.0f) != (dq < 0.0f) && dp != dq) {
+            const float t = fp::fdiv(dp, fsub(dp, dq));
+            out.push_back(p + (q - p) * t);
+        }
+    }
+    return out;
+}
+
+/** Closest points between segments p1+s*d1 and p2+t*d2. */
+void
+closestEdgePoints(const Vec3 &p1, const Vec3 &d1, const Vec3 &p2,
+                  const Vec3 &d2, Vec3 &c1, Vec3 &c2)
+{
+    const Vec3 r = p1 - p2;
+    const float a = d1.dot(d1);
+    const float e = d2.dot(d2);
+    const float f = d2.dot(r);
+    const float c = d1.dot(r);
+    const float bb = d1.dot(d2);
+    const float denom = fsub(fmul(a, e), fmul(bb, bb));
+    float s = 0.0f;
+    if (std::fabs(denom) > 1e-9f) {
+        s = std::clamp(
+            fp::fdiv(fsub(fmul(bb, f), fmul(c, e)), denom), -1.0f, 1.0f);
+    }
+    float t = std::fabs(e) > 1e-9f
+        ? fp::fdiv(fadd(fmul(bb, s), f), e) : 0.0f;
+    t = std::clamp(t, -1.0f, 1.0f);
+    c1 = p1 + d1 * s;
+    c2 = p2 + d2 * t;
+}
+
+int
+collideBoxBox(const RigidBody &a, BodyId ia, const RigidBody &b,
+              BodyId ib, ContactList &out)
+{
+    const BoxFrame fa = frameOf(a);
+    const BoxFrame fb = frameOf(b);
+    const SatResult sat = separatingAxis(fa, fb);
+    if (sat.separated)
+        return 0;
+
+    if (sat.axisKind >= 6) {
+        // Edge-edge: single contact at the closest points between the
+        // supporting edges.
+        const Vec3 ea_dir = fa.rot.column(sat.edgeA);
+        const Vec3 eb_dir = fb.rot.column(sat.edgeB);
+        // Supporting edge centers: push to the extreme along the axis.
+        Vec3 ca = fa.center;
+        for (int i = 0; i < 3; ++i) {
+            if (i == sat.edgeA)
+                continue;
+            const Vec3 col = fa.rot.column(i);
+            const float s = col.dot(sat.axis) > 0.0f ? 1.0f : -1.0f;
+            ca += col * (s * halfComponent(fa.half, i));
+        }
+        Vec3 cb = fb.center;
+        for (int i = 0; i < 3; ++i) {
+            if (i == sat.edgeB)
+                continue;
+            const Vec3 col = fb.rot.column(i);
+            const float s = col.dot(sat.axis) < 0.0f ? 1.0f : -1.0f;
+            cb += col * (s * halfComponent(fb.half, i));
+        }
+        Vec3 pa, pb;
+        closestEdgePoints(ca, ea_dir * halfComponent(fa.half, sat.edgeA),
+                          cb, eb_dir * halfComponent(fb.half, sat.edgeB),
+                          pa, pb);
+        Contact c;
+        c.a = ia;
+        c.b = ib;
+        c.normal = sat.axis;
+        c.depth = sat.depth;
+        c.pos = (pa + pb) * 0.5f;
+        out.push_back(c);
+        return 1;
+    }
+
+    // Face contact: clip the incident face of the other box against the
+    // side planes of the reference face.
+    const bool ref_is_a = sat.axisKind < 3;
+    const BoxFrame &ref = ref_is_a ? fa : fb;
+    const BoxFrame &inc = ref_is_a ? fb : fa;
+    // Normal pointing away from the reference box.
+    const Vec3 n = ref_is_a ? sat.axis : -sat.axis;
+    const int ref_axis = sat.axisKind % 3;
+
+    const auto face = incidentFace(inc, n);
+    std::vector<Vec3> poly(face.begin(), face.end());
+    for (int i = 0; i < 3 && !poly.empty(); ++i) {
+        if (i == ref_axis)
+            continue;
+        const Vec3 side = ref.rot.column(i);
+        const float h = halfComponent(ref.half, i);
+        const float center_proj = ref.center.dot(side);
+        poly = clipAgainst(poly, side, fadd(center_proj, h));
+        poly = clipAgainst(poly, -side, fsub(h, center_proj));
+    }
+    if (poly.empty())
+        return 0;
+
+    // Keep points below the reference face.
+    const float face_limit =
+        fadd(ref.center.dot(n), halfComponent(ref.half, ref_axis));
+    int added = 0;
+    for (const Vec3 &p : poly) {
+        const float depth = fsub(face_limit, p.dot(n));
+        if (depth <= 0.0f)
+            continue;
+        Contact c;
+        c.a = ia;
+        c.b = ib;
+        c.normal = sat.axis; // already points a -> b
+        c.depth = depth;
+        c.pos = p;
+        out.push_back(c);
+        ++added;
+    }
+    if (added > 4) {
+        std::sort(out.end() - added, out.end(),
+                  [](const Contact &x, const Contact &y) {
+                      return x.depth > y.depth;
+                  });
+        out.erase(out.end() - (added - 4), out.end());
+        added = 4;
+    }
+    return added;
+}
+
+} // namespace
+
+int
+collide(const RigidBody &a, BodyId ia, const RigidBody &b, BodyId ib,
+        ContactList &out)
+{
+    using T = Shape::Type;
+    const T ta = a.shape().type;
+    const T tb = b.shape().type;
+
+    if (ta == T::Sphere && tb == T::Sphere)
+        return collideSphereSphere(a, ia, b, ib, out);
+    if (ta == T::Sphere && tb == T::Plane)
+        return collideSpherePlane(a, ia, b, ib, out);
+    if (ta == T::Plane && tb == T::Sphere) {
+        // Canonicalize: contacts are emitted with normal a -> b.
+        const size_t before = out.size();
+        const int n = collideSpherePlane(b, ib, a, ia, out);
+        for (size_t i = before; i < out.size(); ++i) {
+            std::swap(out[i].a, out[i].b);
+            out[i].normal = -out[i].normal;
+        }
+        return n;
+    }
+    if (ta == T::Sphere && tb == T::Box)
+        return collideSphereBox(a, ia, b, ib, true, out);
+    if (ta == T::Box && tb == T::Sphere)
+        return collideSphereBox(b, ib, a, ia, false, out);
+    if (ta == T::Box && tb == T::Plane)
+        return collideBoxPlane(a, ia, b, ib, out);
+    if (ta == T::Plane && tb == T::Box) {
+        const size_t before = out.size();
+        const int n = collideBoxPlane(b, ib, a, ia, out);
+        for (size_t i = before; i < out.size(); ++i) {
+            std::swap(out[i].a, out[i].b);
+            out[i].normal = -out[i].normal;
+        }
+        return n;
+    }
+    if (ta == T::Box && tb == T::Box)
+        return collideBoxBox(a, ia, b, ib, out);
+
+    // Capsule pairs (normals canonicalized to point a -> b).
+    auto flipped = [&](int n) {
+        for (size_t i = out.size() - n; i < out.size(); ++i) {
+            std::swap(out[i].a, out[i].b);
+            out[i].normal = -out[i].normal;
+        }
+        return n;
+    };
+    if (ta == T::Capsule && tb == T::Capsule)
+        return collideCapsuleCapsule(a, ia, b, ib, out);
+    if (ta == T::Capsule && tb == T::Plane)
+        return collideCapsulePlane(a, ia, b, ib, out);
+    if (ta == T::Plane && tb == T::Capsule)
+        return flipped(collideCapsulePlane(b, ib, a, ia, out));
+    if (ta == T::Capsule && tb == T::Sphere)
+        return collideCapsuleSphere(a, ia, b, ib, out);
+    if (ta == T::Sphere && tb == T::Capsule)
+        return flipped(collideCapsuleSphere(b, ib, a, ia, out));
+    if (ta == T::Capsule && tb == T::Box)
+        return collideCapsuleBox(a, ia, b, ib, out);
+    if (ta == T::Box && tb == T::Capsule)
+        return flipped(collideCapsuleBox(b, ib, a, ia, out));
+    return 0; // plane-plane or unsupported
+}
+
+} // namespace phys
+} // namespace hfpu

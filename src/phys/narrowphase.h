@@ -1,0 +1,32 @@
+#ifndef HFPU_PHYS_NARROWPHASE_H
+#define HFPU_PHYS_NARROWPHASE_H
+
+/**
+ * @file
+ * Narrow-phase collision detection: exact contact generation for each
+ * candidate pair. This is one of the paper's two massively parallel,
+ * precision-reduced phases; each pair is an independent work unit.
+ */
+
+#include <vector>
+
+#include "phys/body.h"
+#include "phys/contact.h"
+
+namespace hfpu {
+namespace phys {
+
+/**
+ * Generate contact points for one candidate pair. Appends zero or more
+ * contacts (up to a 4-point manifold for box-box) to @p out, with
+ * normals pointing from @p a to @p b.
+ *
+ * @return number of contacts appended.
+ */
+int collide(const RigidBody &a, BodyId id_a, const RigidBody &b,
+            BodyId id_b, ContactList &out);
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_NARROWPHASE_H

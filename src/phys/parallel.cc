@@ -1,0 +1,109 @@
+#include "phys/parallel.h"
+
+#include "fp/precision.h"
+
+namespace hfpu {
+namespace phys {
+
+/** Captured precision settings of the submitting thread. */
+struct WorkerPool::ContextSnapshot {
+    int mantissaBits[fp::kNumPhases];
+    fp::RoundingMode mode;
+    fp::Phase phase;
+
+    static ContextSnapshot
+    capture()
+    {
+        const auto &ctx = fp::PrecisionContext::current();
+        ContextSnapshot s;
+        for (int p = 0; p < fp::kNumPhases; ++p)
+            s.mantissaBits[p] = ctx.mantissaBits(static_cast<fp::Phase>(p));
+        s.mode = ctx.roundingMode();
+        s.phase = ctx.phase();
+        return s;
+    }
+
+    void
+    apply() const
+    {
+        auto &ctx = fp::PrecisionContext::current();
+        for (int p = 0; p < fp::kNumPhases; ++p)
+            ctx.setMantissaBits(static_cast<fp::Phase>(p),
+                                mantissaBits[p]);
+        ctx.setRoundingMode(mode);
+        ctx.setPhase(phase);
+    }
+};
+
+WorkerPool::WorkerPool(int threads)
+    : snapshot_(std::make_unique<ContextSnapshot>())
+{
+    const int workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(workers);
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wake_.wait(lock, [&] {
+            return stop_ || generation_ != seen_generation;
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        snapshot_->apply();
+        const std::function<void(int)> *fn = fn_;
+        ++active_;
+        while (fn != nullptr && next_ < batchSize_) {
+            const int index = next_++;
+            lock.unlock();
+            (*fn)(index);
+            lock.lock();
+        }
+        --active_;
+        if (active_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+WorkerPool::parallelFor(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    *snapshot_ = ContextSnapshot::capture();
+    fn_ = &fn;
+    batchSize_ = n;
+    next_ = 0;
+    ++generation_;
+    wake_.notify_all();
+    // The submitting thread works too.
+    while (next_ < batchSize_) {
+        const int index = next_++;
+        lock.unlock();
+        fn(index);
+        lock.lock();
+    }
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+}
+
+} // namespace phys
+} // namespace hfpu

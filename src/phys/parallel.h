@@ -1,0 +1,74 @@
+#ifndef HFPU_PHYS_PARALLEL_H
+#define HFPU_PHYS_PARALLEL_H
+
+/**
+ * @file
+ * Persistent worker-thread pool with a work-queue model, mirroring the
+ * paper's parallelization of ODE ("parallelized using POSIX threads
+ * and a work-queue model with persistent worker threads" — persistent
+ * threads eliminate creation/destruction costs). The engine uses it
+ * for the two massively parallel phases: narrow-phase pairs and
+ * per-island LCP solves.
+ *
+ * Floating-point state: the PrecisionContext is thread-local, so each
+ * batch captures the caller's precision settings and installs them in
+ * every worker before it executes tasks, keeping reduced-precision
+ * behavior identical to the serial engine (results are bit-exact
+ * either way, since tasks are independent).
+ */
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hfpu {
+namespace phys {
+
+/** Persistent worker pool executing indexed task batches. */
+class WorkerPool
+{
+  public:
+    /** @param threads worker count (>= 1; the caller also works). */
+    explicit WorkerPool(int threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run fn(0..n-1) across the pool (work-queue order, dynamically
+     * claimed). Blocks until all tasks finish. The caller's
+     * PrecisionContext settings are replicated into each worker for
+     * the duration of the batch. Tasks must be independent.
+     */
+    void parallelFor(int n, const std::function<void(int)> &fn);
+
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+
+    // Current batch state (guarded by mutex_; next_ claimed under it).
+    const std::function<void(int)> *fn_ = nullptr;
+    int batchSize_ = 0;
+    int next_ = 0;
+    int active_ = 0;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    // Precision settings captured from the submitting thread.
+    struct ContextSnapshot;
+    std::unique_ptr<ContextSnapshot> snapshot_;
+};
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_PARALLEL_H

@@ -1,0 +1,22 @@
+#include "phys/row.h"
+
+#include "fp/precision.h"
+
+namespace hfpu {
+namespace phys {
+
+void
+finishRow(SolverRow &row, const std::vector<RigidBody> &bodies)
+{
+    const RigidBody &a = bodies[row.a];
+    const RigidBody &b = bodies[row.b];
+    row.ba.lin = row.ja.lin * a.invMass();
+    row.ba.ang = a.invInertiaWorld() * row.ja.ang;
+    row.bb.lin = row.jb.lin * b.invMass();
+    row.bb.ang = b.invInertiaWorld() * row.jb.ang;
+    const float k = fp::fadd(row.ja.dot(row.ba), row.jb.dot(row.bb));
+    row.invEffMass = k > 0.0f ? fp::fdiv(1.0f, k) : 0.0f;
+}
+
+} // namespace phys
+} // namespace hfpu

@@ -1,0 +1,77 @@
+#ifndef HFPU_PHYS_ROW_H
+#define HFPU_PHYS_ROW_H
+
+/**
+ * @file
+ * The LCP constraint-row representation, deliberately ODE-quickstep
+ * shaped: every constraint is a row with two 6-element Jacobians
+ * (linear + angular blocks per body), solved by projected Gauss-Seidel
+ * over J v = rhs with lambda in [lo, hi]. The 6-element blocks are
+ * padded with structural zeros and unit entries (e.g. a ball joint's
+ * linear parts are +/- basis vectors, a distance joint's angular parts
+ * are zero) — the paper's Section 4.3.2 attributes the LCP phase's
+ * trivialization potential precisely to these padded products, so the
+ * solver must compute them rather than algebraically skip them.
+ */
+
+#include <vector>
+
+#include "math/vec3.h"
+#include "phys/body.h"
+
+namespace hfpu {
+namespace phys {
+
+class Joint;
+
+/** One 6-element Jacobian block (linear, angular). */
+struct Jacobian6 {
+    Vec3 lin;
+    Vec3 ang;
+
+    /** J . v over a body's (linVel, angVel) — the padded dot product. */
+    float
+    dot(const RigidBody &body) const
+    {
+        return fp::fadd(lin.dot(body.linVel), ang.dot(body.angVel));
+    }
+
+    /** Component-wise J . B for the effective mass. */
+    float
+    dot(const Jacobian6 &o) const
+    {
+        return fp::fadd(lin.dot(o.lin), ang.dot(o.ang));
+    }
+};
+
+/** One PGS constraint row. */
+struct SolverRow {
+    BodyId a = -1;
+    BodyId b = -1;
+    Jacobian6 ja, jb;   //!< constraint Jacobians
+    Jacobian6 ba, bb;   //!< M^-1 J^T (impulse-to-velocity maps)
+    float invEffMass = 0.0f; //!< 1 / (J M^-1 J^T)
+    float rhs = 0.0f;        //!< target J v (bias/restitution folded in)
+    float lo = 0.0f;         //!< lower lambda bound
+    float hi = 0.0f;         //!< upper lambda bound
+    /**
+     * Index (within the island's row list) of the friction-limiting
+     * normal row; -1 for independent rows. Friction rows' bounds are
+     * +/- mu * lambda_normal, refreshed each relaxation.
+     */
+    int normalRow = -1;
+    float mu = 0.0f;
+    float lambda = 0.0f;     //!< accumulated impulse
+    Joint *owner = nullptr;  //!< for breakage accounting (may be null)
+};
+
+/**
+ * Finalize a row: compute B = M^-1 J^T and the effective mass from the
+ * Jacobians. Call after filling a/b/ja/jb/rhs/bounds.
+ */
+void finishRow(SolverRow &row, const std::vector<RigidBody> &bodies);
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_ROW_H

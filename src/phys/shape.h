@@ -1,0 +1,86 @@
+#ifndef HFPU_PHYS_SHAPE_H
+#define HFPU_PHYS_SHAPE_H
+
+/**
+ * @file
+ * Collision shapes: spheres, boxes, and static planes — the primitive
+ * set the scenarios need (bricks, projectiles, ragdoll limbs, cloth
+ * particles, ground).
+ */
+
+#include "math/vec3.h"
+
+namespace hfpu {
+namespace phys {
+
+using math::Vec3;
+
+/** A collision shape attached to a rigid body. */
+struct Shape {
+    enum class Type : uint8_t { Sphere, Box, Plane, Capsule };
+
+    Type type = Type::Sphere;
+    float radius = 0.5f;        //!< Sphere / Capsule
+    float halfLength = 0.5f;    //!< Capsule: half segment length
+    Vec3 halfExtents{0.5f, 0.5f, 0.5f}; //!< Box
+    Vec3 normal{0.0f, 1.0f, 0.0f};      //!< Plane: normal . x = offset
+    float offset = 0.0f;
+
+    static Shape
+    sphere(float r)
+    {
+        Shape s;
+        s.type = Type::Sphere;
+        s.radius = r;
+        return s;
+    }
+
+    static Shape
+    box(const Vec3 &half_extents)
+    {
+        Shape s;
+        s.type = Type::Box;
+        s.halfExtents = half_extents;
+        return s;
+    }
+
+    static Shape
+    plane(const Vec3 &n, float offset)
+    {
+        Shape s;
+        s.type = Type::Plane;
+        s.normal = n;
+        s.offset = offset;
+        return s;
+    }
+
+    /** Capsule along the body-local Y axis. */
+    static Shape
+    capsule(float r, float half_length)
+    {
+        Shape s;
+        s.type = Type::Capsule;
+        s.radius = r;
+        s.halfLength = half_length;
+        return s;
+    }
+};
+
+/** Axis-aligned bounding box. */
+struct Aabb {
+    Vec3 min;
+    Vec3 max;
+
+    bool
+    overlaps(const Aabb &o) const
+    {
+        return min.x <= o.max.x && o.min.x <= max.x &&
+               min.y <= o.max.y && o.min.y <= max.y &&
+               min.z <= o.max.z && o.min.z <= max.z;
+    }
+};
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_SHAPE_H

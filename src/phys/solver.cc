@@ -1,0 +1,147 @@
+#include "phys/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fp/precision.h"
+
+namespace hfpu {
+namespace phys {
+
+using fp::fadd;
+using fp::fdiv;
+using fp::fmul;
+using fp::fsub;
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+} // namespace
+
+IslandSolver::IslandSolver(std::vector<RigidBody> &bodies,
+                           const ContactList &contacts,
+                           std::vector<std::unique_ptr<Joint>> &joints,
+                           const Island &island,
+                           const SolverConfig &config, float dt)
+    : bodies_(bodies), joints_(joints), island_(island), config_(config),
+      dt_(dt)
+{
+    rows_.reserve(island.jointIndices.size() * 3 +
+                  island.contactIndices.size() * 3);
+    for (int ji : island.jointIndices)
+        joints_[ji]->appendRows(bodies_, dt_, config_.erp, rows_);
+    for (int ci : island.contactIndices)
+        appendContactRows(contacts[ci]);
+}
+
+void
+IslandSolver::appendContactRows(const Contact &c)
+{
+    RigidBody &a = bodies_[c.a];
+    RigidBody &b = bodies_[c.b];
+    const Vec3 r_a = c.pos - a.pos;
+    const Vec3 r_b = c.pos - b.pos;
+    const Vec3 &n = c.normal;
+
+    // Non-penetration row. Baumgarte bias pushes bodies apart;
+    // restitution adds a bounce target above the approach threshold.
+    SolverRow normal;
+    normal.a = c.a;
+    normal.b = c.b;
+    normal.ja.lin = -n;
+    normal.ja.ang = -(r_a.cross(n));
+    normal.jb.lin = n;
+    normal.jb.ang = r_b.cross(n);
+    const float pen = std::max(fsub(c.depth, config_.slop), 0.0f);
+    float bias = -fmul(fdiv(config_.erp, dt_), pen);
+    const float vn =
+        fadd(normal.ja.dot(a), normal.jb.dot(b));
+    const float rest = fmul(0.5f, fadd(a.restitution, b.restitution));
+    if (vn < -config_.restitutionThreshold)
+        bias = std::min(bias, fmul(rest, vn));
+    normal.rhs = -bias;
+    normal.lo = 0.0f;
+    normal.hi = kInf;
+    finishRow(normal, bodies_);
+    const int normal_index = static_cast<int>(rows_.size());
+    rows_.push_back(normal);
+
+    // Two friction rows, box-clamped by mu * lambda_normal.
+    const Vec3 ref = std::fabs(n.x) < 0.9f ? Vec3{1.0f, 0.0f, 0.0f}
+                                           : Vec3{0.0f, 1.0f, 0.0f};
+    const Vec3 t1 = n.cross(ref).normalized();
+    const Vec3 t2 = n.cross(t1);
+    const float mu = fp::fsqrt(fmul(a.friction, b.friction));
+    for (const Vec3 &t : {t1, t2}) {
+        SolverRow row;
+        row.a = c.a;
+        row.b = c.b;
+        row.ja.lin = -t;
+        row.ja.ang = -(r_a.cross(t));
+        row.jb.lin = t;
+        row.jb.ang = r_b.cross(t);
+        row.rhs = 0.0f;
+        row.normalRow = normal_index;
+        row.mu = mu;
+        finishRow(row, bodies_);
+        rows_.push_back(row);
+    }
+}
+
+void
+IslandSolver::relaxOnce()
+{
+    for (SolverRow &row : rows_) {
+        RigidBody &a = bodies_[row.a];
+        RigidBody &b = bodies_[row.b];
+        // The padded 6-element dot products (Section 4.3.2's op mix).
+        const float cdot = fadd(row.ja.dot(a), row.jb.dot(b));
+        float d_lambda =
+            fmul(row.invEffMass, fsub(row.rhs, cdot));
+        float lo = row.lo, hi = row.hi;
+        if (row.normalRow >= 0) {
+            const float limit =
+                fmul(row.mu, rows_[row.normalRow].lambda);
+            lo = -limit;
+            hi = limit;
+        }
+        const float new_lambda =
+            std::clamp(fadd(row.lambda, d_lambda), lo, hi);
+        d_lambda = fsub(new_lambda, row.lambda);
+        row.lambda = new_lambda;
+        // Static bodies are immovable (their B blocks are zero); skip
+        // the write so islands sharing a static body stay independent
+        // under parallel solving.
+        if (!a.isStatic()) {
+            a.linVel += row.ba.lin * d_lambda;
+            a.angVel += row.ba.ang * d_lambda;
+        }
+        if (!b.isStatic()) {
+            b.linVel += row.bb.lin * d_lambda;
+            b.angVel += row.bb.ang * d_lambda;
+        }
+    }
+}
+
+void
+IslandSolver::solve(int island_index, SolveObserver *observer)
+{
+    for (int it = 0; it < config_.iterations; ++it) {
+        if (observer)
+            observer->beginIteration(island_index, it);
+        relaxOnce();
+        if (observer)
+            observer->endIteration();
+    }
+    // Feed breakage: a joint accumulates the |lambda| of its rows.
+    for (const SolverRow &row : rows_) {
+        if (row.owner)
+            row.owner->noteImpulse(std::fabs(row.lambda));
+    }
+    for (int ji : island_.jointIndices)
+        joints_[ji]->updateBreakage();
+}
+
+} // namespace phys
+} // namespace hfpu

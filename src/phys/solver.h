@@ -1,0 +1,84 @@
+#ifndef HFPU_PHYS_SOLVER_H
+#define HFPU_PHYS_SOLVER_H
+
+/**
+ * @file
+ * The LCP solver: projected Gauss-Seidel over an island's constraint
+ * rows, the same algorithm (and the same padded 6-element Jacobian
+ * data layout) as ODE's quickstep. Contacts contribute a
+ * non-penetration row with Baumgarte stabilization and restitution
+ * plus two friction rows box-clamped by mu times the accumulated
+ * normal impulse; joints contribute their own rows (see joint.h).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "phys/contact.h"
+#include "phys/island.h"
+#include "phys/joint.h"
+#include "phys/row.h"
+
+namespace hfpu {
+namespace phys {
+
+/** Tunables mirroring ODE's world parameters. */
+struct SolverConfig {
+    int iterations = 20;        //!< PGS relaxation passes (paper: 20)
+    float erp = 0.2f;           //!< error reduction parameter
+    float slop = 0.005f;        //!< allowed penetration before bias
+    float restitutionThreshold = 1.0f; //!< m/s of approach to bounce
+};
+
+/**
+ * Per-iteration callbacks so the caller can mark each relaxation pass
+ * as a work unit for tracing (the paper's loosely coupled LCP
+ * iterations).
+ */
+class SolveObserver
+{
+  public:
+    virtual ~SolveObserver() = default;
+    virtual void beginIteration(int island, int iteration) = 0;
+    virtual void endIteration() = 0;
+};
+
+/**
+ * Builds and relaxes the constraint rows of one island in place.
+ */
+class IslandSolver
+{
+  public:
+    IslandSolver(std::vector<RigidBody> &bodies, const ContactList &contacts,
+                 std::vector<std::unique_ptr<Joint>> &joints,
+                 const Island &island, const SolverConfig &config,
+                 float dt);
+
+    /**
+     * Run the configured number of PGS iterations and feed joint
+     * breakage accumulators.
+     *
+     * @param island_index index reported to the observer
+     * @param observer     optional per-iteration work-unit hooks
+     */
+    void solve(int island_index, SolveObserver *observer);
+
+    /** Number of rows built for this island (tests/stats). */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    void appendContactRows(const Contact &contact);
+    void relaxOnce();
+
+    std::vector<RigidBody> &bodies_;
+    std::vector<std::unique_ptr<Joint>> &joints_;
+    const Island &island_;
+    SolverConfig config_;
+    float dt_;
+    std::vector<SolverRow> rows_;
+};
+
+} // namespace phys
+} // namespace hfpu
+
+#endif // HFPU_PHYS_SOLVER_H

@@ -1,0 +1,370 @@
+#include "phys/world.h"
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/narrowphase.h"
+
+namespace hfpu {
+namespace phys {
+
+using fp::Phase;
+using fp::ScopedPhase;
+
+namespace {
+
+/** Adapter forwarding LCP iteration boundaries to the world listener. */
+class IterationForwarder : public SolveObserver
+{
+  public:
+    explicit IterationForwarder(WorkUnitListener *listener)
+        : listener_(listener)
+    {}
+
+    void
+    beginIteration(int island, int iteration) override
+    {
+        if (listener_)
+            listener_->beginUnit(Phase::Lcp, island * 1000 + iteration);
+    }
+
+    void
+    endIteration() override
+    {
+        if (listener_)
+            listener_->endUnit();
+    }
+
+  private:
+    WorkUnitListener *listener_;
+};
+
+} // namespace
+
+World::World(const WorldConfig &config) : config_(config)
+{
+    if (config_.threads > 1)
+        pool_ = std::make_unique<WorkerPool>(config_.threads);
+}
+
+bool
+World::parallelAllowed() const
+{
+    return pool_ != nullptr && listener_ == nullptr &&
+        fp::PrecisionContext::current().recorder() == nullptr;
+}
+
+BodyId
+World::addBody(const RigidBody &body)
+{
+    bodies_.push_back(body);
+    return static_cast<BodyId>(bodies_.size() - 1);
+}
+
+Joint *
+World::addJoint(std::unique_ptr<Joint> joint)
+{
+    joints_.push_back(std::move(joint));
+    return joints_.back().get();
+}
+
+void
+World::applyForces()
+{
+    // Gravity and accumulated forces enter the velocities before the
+    // LCP solve (ODE's order), so contacts can cancel them this step.
+    const float dt = config_.dt;
+    for (RigidBody &body : bodies_) {
+        if (body.isStatic() || body.asleep())
+            continue;
+        body.linVel += (config_.gravity + body.force * body.invMass()) * dt;
+        body.angVel += (body.invInertiaWorld() * body.torque) * dt;
+        body.force = {};
+        body.torque = {};
+    }
+}
+
+void
+World::runPhases()
+{
+    {
+        ScopedPhase other(Phase::Other);
+        applyForces();
+    }
+
+    std::vector<BodyPair> pairs;
+    {
+        ScopedPhase broad(Phase::Broad);
+        pairs = sweepAndPrune(bodies_);
+    }
+    lastPairCount_ = static_cast<int>(pairs.size());
+
+    contacts_.clear();
+    {
+        ScopedPhase narrow(Phase::Narrow);
+        if (parallelAllowed()) {
+            // Work-queue over independent pairs; per-pair buffers are
+            // merged in pair order so results match the serial engine
+            // bit for bit.
+            std::vector<ContactList> per_pair(pairs.size());
+            pool_->parallelFor(
+                static_cast<int>(pairs.size()), [&](int i) {
+                    const BodyPair &p = pairs[i];
+                    collide(bodies_[p.a], p.a, bodies_[p.b], p.b,
+                            per_pair[i]);
+                });
+            for (size_t i = 0; i < pairs.size(); ++i) {
+                contacts_.insert(contacts_.end(), per_pair[i].begin(),
+                                 per_pair[i].end());
+                if (!per_pair[i].empty()) {
+                    RigidBody &a = bodies_[pairs[i].a];
+                    RigidBody &b = bodies_[pairs[i].b];
+                    if (a.asleep() && !b.isStatic() && !b.asleep())
+                        a.wake();
+                    if (b.asleep() && !a.isStatic() && !a.asleep())
+                        b.wake();
+                }
+            }
+        } else {
+            for (int i = 0; i < static_cast<int>(pairs.size()); ++i) {
+                if (listener_)
+                    listener_->beginUnit(Phase::Narrow, i);
+                const BodyPair &p = pairs[i];
+                const size_t before = contacts_.size();
+                collide(bodies_[p.a], p.a, bodies_[p.b], p.b, contacts_);
+                if (listener_)
+                    listener_->endUnit();
+                if (contacts_.size() > before) {
+                    // Contact with an active body wakes a sleeper.
+                    RigidBody &a = bodies_[p.a];
+                    RigidBody &b = bodies_[p.b];
+                    if (a.asleep() && !b.isStatic() && !b.asleep())
+                        a.wake();
+                    if (b.asleep() && !a.isStatic() && !a.asleep())
+                        b.wake();
+                }
+            }
+        }
+    }
+
+    {
+        ScopedPhase island_phase(Phase::Island);
+        islands_ = buildIslands(bodies_, contacts_, joints_);
+        // Wake whole islands that contain any awake member: a
+        // half-asleep island cannot be solved consistently.
+        for (const Island &island : islands_) {
+            bool any_awake = false;
+            for (BodyId id : island.bodies) {
+                if (!bodies_[id].asleep()) {
+                    any_awake = true;
+                    break;
+                }
+            }
+            if (any_awake) {
+                for (BodyId id : island.bodies) {
+                    if (bodies_[id].asleep())
+                        bodies_[id].wake();
+                }
+            }
+        }
+    }
+
+    {
+        ScopedPhase lcp(Phase::Lcp);
+        IterationForwarder forwarder(listener_);
+        auto solveIsland = [&](int i) {
+            const Island &island = islands_[i];
+            // Fully sleeping islands are skipped ("object disabling").
+            bool all_asleep = true;
+            for (BodyId id : island.bodies) {
+                if (!bodies_[id].asleep()) {
+                    all_asleep = false;
+                    break;
+                }
+            }
+            if (all_asleep)
+                return;
+            IslandSolver solver(bodies_, contacts_, joints_, island,
+                                config_.solver, config_.dt);
+            solver.solve(i, listener_ ? &forwarder : nullptr);
+        };
+        if (parallelAllowed()) {
+            // Islands are independent LCPs (the paper's coarse-grain
+            // LCP parallelism).
+            pool_->parallelFor(static_cast<int>(islands_.size()),
+                               solveIsland);
+        } else {
+            for (int i = 0; i < static_cast<int>(islands_.size()); ++i)
+                solveIsland(i);
+        }
+    }
+
+    {
+        ScopedPhase integ(Phase::Integrate);
+        integrate();
+    }
+
+    if (config_.sleepingEnabled)
+        updateSleeping();
+}
+
+void
+World::integrate()
+{
+    const float dt = config_.dt;
+    for (RigidBody &body : bodies_) {
+        if (body.isStatic() || body.asleep())
+            continue;
+        body.pos += body.linVel * dt;
+        body.orient = body.orient.integrated(body.angVel, dt);
+        body.updateDerived();
+    }
+}
+
+void
+World::updateSleeping()
+{
+    for (RigidBody &body : bodies_) {
+        if (body.isStatic() || body.asleep())
+            continue;
+        const bool quiet =
+            body.linVel.lengthSq() < config_.sleepLinVelSq &&
+            body.angVel.lengthSq() < config_.sleepAngVelSq;
+        if (quiet) {
+            if (++body.sleepFrames >= config_.sleepSteps)
+                body.sleep();
+        } else {
+            body.sleepFrames = 0;
+        }
+    }
+}
+
+void
+World::step()
+{
+    if (listener_)
+        listener_->beginStep(step_);
+
+    std::vector<BodyState> snapshot;
+    if (controller_) {
+        snapshot = saveState();
+        controller_->beginStep();
+    }
+
+    runPhases();
+
+    const double injected = injectedEnergy_;
+    injectedEnergy_ = 0.0;
+    lastInjected_ = injected;
+    lastEnergy_ = computeCurrentEnergy();
+
+    if (controller_) {
+        const auto action = controller_->endStep(
+            lastEnergy_.total(), injected, stateFinite());
+        if (action == PrecisionController::Action::RequestReexecute) {
+            // Fail-safe of Section 4.2: restore and redo the step at
+            // full precision.
+            restoreState(snapshot);
+            controller_->beginStep(); // now at full precision
+            runPhases();
+            lastEnergy_ = computeCurrentEnergy();
+            controller_->restartEnergyHistory(lastEnergy_.total());
+        }
+    }
+
+    ++step_;
+    if (listener_)
+        listener_->endStep();
+}
+
+EnergyBreakdown
+World::computeCurrentEnergy() const
+{
+    return computeEnergy(bodies_, config_.gravity);
+}
+
+void
+World::applyExplosion(const Vec3 &center, float speed, float radius)
+{
+    const EnergyBreakdown before = computeCurrentEnergy();
+    for (RigidBody &body : bodies_) {
+        if (body.isStatic())
+            continue;
+        const Vec3 d = body.pos - center;
+        const float dist = d.length();
+        if (dist >= radius)
+            continue;
+        const Vec3 dir = dist > 1e-6f ? d * (1.0f / dist)
+                                      : Vec3{0.0f, 1.0f, 0.0f};
+        const float falloff = 1.0f - dist / radius;
+        body.wake();
+        body.linVel += dir * (speed * falloff);
+    }
+    const EnergyBreakdown after = computeCurrentEnergy();
+    noteInjectedEnergy(after.total() - before.total());
+}
+
+BodyId
+World::spawnProjectile(const Shape &shape, float mass, const Vec3 &pos,
+                       const Vec3 &vel)
+{
+    RigidBody body(shape, mass, pos);
+    body.linVel = vel;
+    const BodyId id = addBody(body);
+    // The new body's entire energy is external input.
+    std::vector<RigidBody> single{bodies_[id]};
+    noteInjectedEnergy(computeEnergy(single, config_.gravity).total());
+    return id;
+}
+
+void
+World::kick(BodyId id, const Vec3 &impulse, const Vec3 &point)
+{
+    const EnergyBreakdown before = computeCurrentEnergy();
+    bodies_[id].applyImpulse(impulse, point);
+    const EnergyBreakdown after = computeCurrentEnergy();
+    noteInjectedEnergy(after.total() - before.total());
+}
+
+bool
+World::stateFinite() const
+{
+    for (const RigidBody &body : bodies_) {
+        if (!body.stateFinite())
+            return false;
+    }
+    return true;
+}
+
+std::vector<World::BodyState>
+World::saveState() const
+{
+    std::vector<BodyState> state;
+    state.reserve(bodies_.size());
+    for (const RigidBody &body : bodies_) {
+        state.push_back({body.pos, body.linVel, body.angVel, body.orient,
+                         body.asleep(), body.sleepFrames});
+    }
+    return state;
+}
+
+void
+World::restoreState(const std::vector<BodyState> &state)
+{
+    for (size_t i = 0; i < state.size(); ++i) {
+        RigidBody &body = bodies_[i];
+        body.pos = state[i].pos;
+        body.linVel = state[i].linVel;
+        body.angVel = state[i].angVel;
+        body.orient = state[i].orient;
+        body.sleepFrames = state[i].sleepFrames;
+        if (state[i].asleep)
+            body.sleep();
+        else
+            body.wake();
+        body.updateDerived();
+    }
+}
+
+} // namespace phys
+} // namespace hfpu

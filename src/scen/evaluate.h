@@ -1,0 +1,89 @@
+#ifndef HFPU_SCEN_EVALUATE_H
+#define HFPU_SCEN_EVALUATE_H
+
+/**
+ * @file
+ * Believability evaluation following the paper's methodology (Section
+ * 4.1.1 / [34]): run a scenario at a fixed reduced precision and check
+ * (a) the per-step net-energy-gain rule (threshold 10%, injected
+ * energy discounted), (b) no divergence/NaN, and (c) agreement of the
+ * final total energy with the full-precision reference run. The
+ * minimum-precision search regenerates Table 1.
+ */
+
+#include <string>
+
+#include "fp/types.h"
+
+namespace hfpu {
+namespace scen {
+
+/** Which phase(s) to precision-reduce during an evaluation. */
+enum class ReducedPhases {
+    LcpOnly,
+    NarrowOnly,
+    Both,
+};
+
+/** Evaluation parameters (defaults follow the paper's methodology:
+ *  the 10% per-step energy rule over the whole run, plus the
+ *  believability-study-style comparison against the full-precision
+ *  reference — here a per-object trajectory-deviation bound over a
+ *  short horizon, before chaotic divergence dominates). */
+struct EvalConfig {
+    int steps = 200;            //!< 200 steps, dt 0.01, 3 steps/frame
+    double energyThreshold = 0.10;
+    /** Steps over which positions are compared to the reference. */
+    int deviationWindow = 60;
+    /**
+     * Maximum tolerated per-object position deviation (meters) for
+     * near-stationary objects. Fast objects are judged relative to
+     * the distance they have traveled (perceptual tolerance grows
+     * with motion): allowed = max(deviationTolerance,
+     * relativeDeviationTolerance * path_length).
+     */
+    double deviationTolerance = 0.05;
+    double relativeDeviationTolerance = 0.25;
+};
+
+/** Result of one believability evaluation. */
+struct BelievabilityResult {
+    bool believable = false;
+    bool finite = true;       //!< no NaN/Inf during the run
+    double maxNetGain = 0.0;  //!< worst per-step relative energy gain
+    int gainViolations = 0;   //!< steps exceeding the threshold
+    /** Worst normalized deviation (deviation / budget; <= 1 passes). */
+    double maxDeviation = 0.0;
+    double finalEnergy = 0.0;
+    double referenceFinalEnergy = 0.0;
+};
+
+/**
+ * Evaluate one scenario at a fixed precision.
+ *
+ * @param scenario    scenario name (see scenarioNames())
+ * @param phases      which phases are reduced
+ * @param narrow_bits mantissa bits for the narrow phase (if reduced)
+ * @param lcp_bits    mantissa bits for the LCP phase (if reduced)
+ * @param mode        rounding mode
+ */
+BelievabilityResult evaluateBelievability(
+    const std::string &scenario, ReducedPhases phases, int narrow_bits,
+    int lcp_bits, fp::RoundingMode mode, const EvalConfig &config = {});
+
+/**
+ * Minimum mantissa bits for which @p scenario is believable when only
+ * @p phases is reduced (Table 1). Scans widths ascending; the fixed
+ * width for the non-searched phase is given by @p fixed_bits (used for
+ * the paper's parenthesized co-tuned narrow-phase numbers, where LCP
+ * stays at its own minimum). Returns 24 if not even full precision
+ * passes (should not happen).
+ */
+int minimumPrecision(const std::string &scenario, ReducedPhases phases,
+                     fp::RoundingMode mode, int fixed_bits = 23,
+                     const EvalConfig &config = {});
+
+} // namespace scen
+} // namespace hfpu
+
+#endif // HFPU_SCEN_EVALUATE_H

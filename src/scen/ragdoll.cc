@@ -1,0 +1,85 @@
+#include "scen/ragdoll.h"
+
+namespace hfpu {
+namespace scen {
+
+using namespace phys;
+
+std::vector<BodyId>
+Ragdoll::allBodies() const
+{
+    return {torso, head, upperArmL, lowerArmL, upperArmR, lowerArmR,
+            upperLegL, lowerLegL, upperLegR, lowerLegR};
+}
+
+Ragdoll
+buildRagdoll(World &world, const Vec3 &pos, float scale)
+{
+    const float s = scale;
+    Ragdoll doll;
+
+    auto addBox = [&](const Vec3 &half, float mass, const Vec3 &at) {
+        return world.addBody(
+            RigidBody(Shape::box(half * s), mass * s * s * s, pos + at * s));
+    };
+    auto addSphere = [&](float radius, float mass, const Vec3 &at) {
+        return world.addBody(RigidBody(Shape::sphere(radius * s),
+                                       mass * s * s * s, pos + at * s));
+    };
+    // Limbs are capsules (as in ODE-era game ragdolls): radius +
+    // half-length along the local Y axis.
+    auto addLimb = [&](float radius, float half_len, float mass,
+                       const Vec3 &at) {
+        return world.addBody(
+            RigidBody(Shape::capsule(radius * s, half_len * s),
+                      mass * s * s * s, pos + at * s));
+    };
+    auto ball = [&](BodyId a, BodyId b, const Vec3 &anchor) {
+        world.addJoint(std::make_unique<BallJoint>(
+            world.bodies(), a, b, pos + anchor * s));
+    };
+    auto hinge = [&](BodyId a, BodyId b, const Vec3 &anchor,
+                     const Vec3 &axis) {
+        auto joint = std::make_unique<HingeJoint>(
+            world.bodies(), a, b, pos + anchor * s, axis);
+        // Elbows/knees cannot wrap around.
+        joint->setLimits(-2.4f, 2.4f);
+        world.addJoint(std::move(joint));
+    };
+
+    // Torso: 0.5 m tall box at the origin of the doll frame.
+    doll.torso = addBox({0.15f, 0.25f, 0.10f}, 20.0f, {});
+    doll.head = addSphere(0.12f, 4.0f, {0.0f, 0.40f, 0.0f});
+    ball(doll.torso, doll.head, {0.0f, 0.27f, 0.0f});
+
+    // Arms hang along -y from the shoulders.
+    doll.upperArmL = addLimb(0.05f, 0.10f, 2.5f, {-0.22f, 0.10f, 0.0f});
+    doll.lowerArmL = addLimb(0.04f, 0.09f, 1.8f, {-0.22f, -0.19f, 0.0f});
+    ball(doll.torso, doll.upperArmL, {-0.22f, 0.25f, 0.0f});
+    hinge(doll.upperArmL, doll.lowerArmL, {-0.22f, -0.05f, 0.0f},
+          {1.0f, 0.0f, 0.0f});
+
+    doll.upperArmR = addLimb(0.05f, 0.10f, 2.5f, {0.22f, 0.10f, 0.0f});
+    doll.lowerArmR = addLimb(0.04f, 0.09f, 1.8f, {0.22f, -0.19f, 0.0f});
+    ball(doll.torso, doll.upperArmR, {0.22f, 0.25f, 0.0f});
+    hinge(doll.upperArmR, doll.lowerArmR, {0.22f, -0.05f, 0.0f},
+          {1.0f, 0.0f, 0.0f});
+
+    // Legs below the hips.
+    doll.upperLegL = addLimb(0.06f, 0.13f, 6.0f, {-0.09f, -0.45f, 0.0f});
+    doll.lowerLegL = addLimb(0.05f, 0.13f, 4.0f, {-0.09f, -0.82f, 0.0f});
+    ball(doll.torso, doll.upperLegL, {-0.09f, -0.26f, 0.0f});
+    hinge(doll.upperLegL, doll.lowerLegL, {-0.09f, -0.64f, 0.0f},
+          {1.0f, 0.0f, 0.0f});
+
+    doll.upperLegR = addLimb(0.06f, 0.13f, 6.0f, {0.09f, -0.45f, 0.0f});
+    doll.lowerLegR = addLimb(0.05f, 0.13f, 4.0f, {0.09f, -0.82f, 0.0f});
+    ball(doll.torso, doll.upperLegR, {0.09f, -0.26f, 0.0f});
+    hinge(doll.upperLegR, doll.lowerLegR, {0.09f, -0.64f, 0.0f},
+          {1.0f, 0.0f, 0.0f});
+
+    return doll;
+}
+
+} // namespace scen
+} // namespace hfpu

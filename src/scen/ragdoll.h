@@ -1,0 +1,41 @@
+#ifndef HFPU_SCEN_RAGDOLL_H
+#define HFPU_SCEN_RAGDOLL_H
+
+/**
+ * @file
+ * Articulated humanoid ("ragdoll") construction: ten bodies linked by
+ * ball and hinge joints — the high-articulation workload of the
+ * PhysicsBench-style Ragdoll scenario.
+ */
+
+#include <vector>
+
+#include "phys/world.h"
+
+namespace hfpu {
+namespace scen {
+
+/** Handle to a constructed ragdoll. */
+struct Ragdoll {
+    phys::BodyId torso = -1;
+    phys::BodyId head = -1;
+    phys::BodyId upperArmL = -1, lowerArmL = -1;
+    phys::BodyId upperArmR = -1, lowerArmR = -1;
+    phys::BodyId upperLegL = -1, lowerLegL = -1;
+    phys::BodyId upperLegR = -1, lowerLegR = -1;
+
+    std::vector<phys::BodyId> allBodies() const;
+};
+
+/**
+ * Build a ragdoll whose torso center is at @p pos.
+ *
+ * @param scale overall size multiplier (1.0 ~= human torso of 0.5 m).
+ */
+Ragdoll buildRagdoll(phys::World &world, const phys::Vec3 &pos,
+                     float scale = 1.0f);
+
+} // namespace scen
+} // namespace hfpu
+
+#endif // HFPU_SCEN_RAGDOLL_H

@@ -1,0 +1,281 @@
+#include "scen/scenario.h"
+
+#include <stdexcept>
+
+#include "phys/cloth.h"
+#include "scen/ragdoll.h"
+
+namespace hfpu {
+namespace scen {
+
+using namespace phys;
+
+namespace {
+
+void
+addGround(World &world)
+{
+    world.addBody(
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+}
+
+/**
+ * Brick wall of welded boxes. @p break_impulse < inf makes the welds
+ * breakable (pre-fractured structure).
+ */
+void
+addWall(World &world, const Vec3 &center, int width, int height,
+        float break_impulse)
+{
+    const Vec3 half{0.25f, 0.15f, 0.15f};
+    std::vector<std::vector<BodyId>> grid(height);
+    for (int r = 0; r < height; ++r) {
+        for (int c = 0; c < width; ++c) {
+            const Vec3 pos{
+                center.x + (c - (width - 1) * 0.5f) * 2.02f * half.x,
+                center.y + half.y + r * 2.02f * half.y, center.z};
+            grid[r].push_back(
+                world.addBody(RigidBody(Shape::box(half), 1.5f, pos)));
+        }
+    }
+    auto weld = [&](BodyId a, BodyId b) {
+        const Vec3 anchor = (world.body(a).pos + world.body(b).pos) * 0.5f;
+        auto joint = std::make_unique<FixedJoint>(
+            world.bodies(), a, b, anchor);
+        joint->breakImpulse = break_impulse;
+        world.addJoint(std::move(joint));
+    };
+    for (int r = 0; r < height; ++r) {
+        for (int c = 0; c < width; ++c) {
+            if (c + 1 < width)
+                weld(grid[r][c], grid[r][c + 1]);
+            if (r + 1 < height)
+                weld(grid[r][c], grid[r + 1][c]);
+        }
+    }
+}
+
+Scenario
+makeBreakable()
+{
+    Scenario s;
+    s.name = "Breakable";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    addWall(*s.world, {0.0f, 0.0f, 0.0f}, 4, 3, 4.0f);
+    s.driver = [](World &world, int step) {
+        if (step == 10) {
+            world.spawnProjectile(Shape::sphere(0.2f), 8.0f,
+                                  {-4.0f, 0.6f, 0.0f},
+                                  {16.0f, 2.0f, 0.0f});
+        }
+    };
+    return s;
+}
+
+Scenario
+makeContinuous()
+{
+    Scenario s;
+    s.name = "Continuous";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    // Seed pile so the stream lands on existing contacts from step one.
+    for (int i = 0; i < 5; ++i) {
+        s.world->addBody(RigidBody(
+            Shape::sphere(0.25f), 1.0f,
+            {0.45f * (i % 3 - 1), 0.25f + 0.3f * (i / 3),
+             0.45f * (i % 2)}));
+    }
+    s.driver = [](World &world, int step) {
+        // A steady stream of spheres raining onto a pile; positions
+        // follow a deterministic low-discrepancy pattern.
+        if (step % 15 == 0 && step < 195) {
+            const int k = step / 15;
+            const float x = 0.4f * ((k * 7) % 5 - 2);
+            const float z = 0.4f * ((k * 3) % 5 - 2);
+            world.spawnProjectile(Shape::sphere(0.25f), 1.0f,
+                                  {x, 2.0f, z}, {0.0f, -4.0f, 0.0f});
+        }
+    };
+    return s;
+}
+
+Scenario
+makeDeformable()
+{
+    Scenario s;
+    s.name = "Deformable";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    s.world->addBody(RigidBody::makeStatic(
+        Shape::box({0.5f, 0.5f, 0.5f}), {0.9f, 0.5f, 0.9f}));
+    ClothParams params;
+    params.nx = 7;
+    params.nz = 7;
+    buildCloth(*s.world, {0.15f, 1.35f, 0.15f}, params);
+    return s;
+}
+
+Scenario
+makeEverything()
+{
+    Scenario s;
+    s.name = "Everything";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    addWall(*s.world, {-2.0f, 0.0f, 0.0f}, 3, 2, 5.0f);
+    buildRagdoll(*s.world, {2.0f, 1.6f, 0.0f}, 0.8f);
+    ClothParams params;
+    params.nx = 5;
+    params.nz = 5;
+    params.pinCorners = true;
+    buildCloth(*s.world, {-0.5f, 1.2f, 2.0f}, params);
+    s.driver = [](World &world, int step) {
+        if (step == 30) {
+            world.spawnProjectile(Shape::sphere(0.15f), 5.0f,
+                                  {-6.0f, 0.5f, 0.0f},
+                                  {14.0f, 2.0f, 0.0f});
+        }
+        if (step == 120)
+            world.applyExplosion({2.0f, 0.0f, 0.0f}, 4.0f, 3.0f);
+    };
+    return s;
+}
+
+Scenario
+makeExplosions()
+{
+    Scenario s;
+    s.name = "Explosions";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    // 3x3x2 block pile to scatter.
+    for (int x = 0; x < 3; ++x) {
+        for (int z = 0; z < 3; ++z) {
+            for (int y = 0; y < 2; ++y) {
+                s.world->addBody(RigidBody(
+                    Shape::box({0.2f, 0.2f, 0.2f}), 1.0f,
+                    {0.42f * (x - 1), 0.2f + 0.42f * y, 0.42f * (z - 1)}));
+            }
+        }
+    }
+    s.driver = [](World &world, int step) {
+        if (step == 30)
+            world.applyExplosion({0.0f, 0.1f, 0.0f}, 9.0f, 4.0f);
+        if (step == 120)
+            world.applyExplosion({0.5f, 0.1f, 0.5f}, 6.0f, 4.0f);
+    };
+    return s;
+}
+
+Scenario
+makeHighspeed()
+{
+    Scenario s;
+    s.name = "Highspeed";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    addWall(*s.world, {0.0f, 0.0f, 0.0f}, 3, 3,
+            std::numeric_limits<float>::infinity());
+    s.driver = [](World &world, int step) {
+        // Very fast projectiles stress the exponent range.
+        if (step == 5) {
+            world.spawnProjectile(Shape::sphere(0.12f), 2.0f,
+                                  {-12.0f, 0.5f, 0.0f},
+                                  {60.0f, 0.0f, 0.0f});
+        }
+        if (step == 100) {
+            world.spawnProjectile(Shape::sphere(0.12f), 2.0f,
+                                  {12.0f, 0.8f, 0.1f},
+                                  {-55.0f, 1.0f, 0.0f});
+        }
+    };
+    return s;
+}
+
+Scenario
+makePeriodic()
+{
+    Scenario s;
+    s.name = "Periodic";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    // Three pendula of different lengths, plus a spinning top body.
+    for (int i = 0; i < 3; ++i) {
+        const Vec3 pivot{-2.0f + 2.0f * i, 3.0f, 0.0f};
+        const float len = 0.8f + 0.4f * i;
+        const BodyId anchor = s.world->addBody(
+            RigidBody::makeStatic(Shape::sphere(0.05f), pivot));
+        RigidBody bob(Shape::sphere(0.15f), 2.0f,
+                      {pivot.x + len, pivot.y, pivot.z});
+        const BodyId bob_id = s.world->addBody(bob);
+        s.world->addJoint(std::make_unique<HingeJoint>(
+            s.world->bodies(), anchor, bob_id, pivot,
+            Vec3{0.0f, 0.0f, 1.0f}));
+    }
+    RigidBody top(Shape::box({0.2f, 0.05f, 0.2f}), 1.0f,
+                  {0.0f, 0.05f, 2.0f});
+    top.angVel = {0.0f, 8.0f, 0.0f};
+    s.world->addBody(top);
+    return s;
+}
+
+Scenario
+makeRagdoll()
+{
+    Scenario s;
+    s.name = "Ragdoll";
+    s.world = std::make_unique<World>();
+    addGround(*s.world);
+    buildRagdoll(*s.world, {0.0f, 2.2f, 0.0f});
+    buildRagdoll(*s.world, {1.2f, 3.0f, 0.5f}, 0.9f);
+    s.driver = [](World &world, int step) {
+        if (step == 100)
+            world.applyExplosion({0.0f, 0.0f, 0.0f}, 3.0f, 2.5f);
+    };
+    return s;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+scenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "Breakable", "Continuous", "Deformable", "Everything",
+        "Explosions", "Highspeed", "Periodic", "Ragdoll",
+    };
+    return names;
+}
+
+std::string
+shortName(const std::string &name)
+{
+    return name.substr(0, 3);
+}
+
+Scenario
+makeScenario(const std::string &name)
+{
+    if (name == "Breakable")
+        return makeBreakable();
+    if (name == "Continuous")
+        return makeContinuous();
+    if (name == "Deformable")
+        return makeDeformable();
+    if (name == "Everything")
+        return makeEverything();
+    if (name == "Explosions")
+        return makeExplosions();
+    if (name == "Highspeed")
+        return makeHighspeed();
+    if (name == "Periodic")
+        return makePeriodic();
+    if (name == "Ragdoll")
+        return makeRagdoll();
+    throw std::invalid_argument("unknown scenario: " + name);
+}
+
+} // namespace scen
+} // namespace hfpu

@@ -1,0 +1,60 @@
+#ifndef HFPU_SCEN_SCENARIO_H
+#define HFPU_SCEN_SCENARIO_H
+
+/**
+ * @file
+ * The eight PhysicsBench-style scenarios (Section 3). Each scenario is
+ * a freshly built world plus a per-step driver that injects the
+ * scripted external events (projectiles, explosions, spawns) with
+ * energy accounting. DESIGN.md documents how each maps onto the
+ * original suite's physical character.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phys/world.h"
+
+namespace hfpu {
+namespace scen {
+
+/** A runnable scenario instance. */
+struct Scenario {
+    std::string name;
+    std::unique_ptr<phys::World> world;
+    /** Invoked before each step with the upcoming step index. */
+    std::function<void(phys::World &, int)> driver;
+
+    /** Drive and advance one step. */
+    void
+    step()
+    {
+        if (driver)
+            driver(*world, world->stepCount());
+        world->step();
+    }
+
+    /** Run @p n steps. */
+    void
+    run(int n)
+    {
+        for (int i = 0; i < n; ++i)
+            step();
+    }
+};
+
+/** Names of the eight scenarios, in the paper's table order. */
+const std::vector<std::string> &scenarioNames();
+
+/** Short names used in the paper's Table 4 (Bre, Con, ...). */
+std::string shortName(const std::string &name);
+
+/** Build a fresh scenario instance by name (throws on unknown name). */
+Scenario makeScenario(const std::string &name);
+
+} // namespace scen
+} // namespace hfpu
+
+#endif // HFPU_SCEN_SCENARIO_H

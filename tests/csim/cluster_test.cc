@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Hand-checked timing tests for the cluster model: Table 7 latency
+ * composition, fixed-slot arbitration, divide scheduling windows,
+ * filler density, work-queue scheduling, and sharing trends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "csim/cluster.h"
+#include "fp/types.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::csim;
+using fpu::ServiceLevel;
+
+CoreParams
+noBubbleParams()
+{
+    CoreParams p;
+    p.bubbleEvery = 0; // deterministic hand-checkable timing
+    p.narrowBubbleEvery = 0;
+    return p;
+}
+
+ClusterConfig
+config(int cores_per_fpu, fpu::L1Design design = fpu::L1Design::Baseline,
+       int mini_share = 1)
+{
+    ClusterConfig c;
+    c.coresPerFpu = cores_per_fpu;
+    c.l1.design = design;
+    c.miniShare = mini_share;
+    return c;
+}
+
+ClassifiedUnit
+unitOf(std::initializer_list<ClassifiedOp> ops,
+       fp::Phase phase = fp::Phase::Lcp)
+{
+    ClassifiedUnit u;
+    u.phase = phase;
+    u.ops = ops;
+    return u;
+}
+
+TEST(CoreTimer, TrivialAndLookupTakeOneCycle)
+{
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(4);
+    CoreTimer t(p, c, 0, 0);
+    // LCP filler: (1-0.31)/0.31 = 2.2258 filler ops per FP op -> the
+    // first FP op is preceded by 2 filler cycles.
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Trivial}}));
+    EXPECT_EQ(t.time(), 2u + 1u);
+    CoreTimer t2(p, c, 0, 0);
+    t2.runUnit(unitOf({{fp::Opcode::Mul, ServiceLevel::Lookup}}));
+    EXPECT_EQ(t2.time(), 2u + 1u);
+}
+
+TEST(CoreTimer, FullFpuLatencyCompositionFourCoreSharing)
+{
+    // Table 7 for 4-core sharing: arbitration 0-3, interconnect 1,
+    // fpALU 4. Core with slot 0 issuing at a multiple of 4 waits 0.
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(4);
+    CoreTimer t(p, c, 0, 0);
+    // After 2 filler cycles time=2; slot 0 next issue at cycle 4:
+    // wait 2, interconnect 1, latency 4.
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 2u + 1u + 4u);
+}
+
+TEST(CoreTimer, SlotAlignmentDependsOnCoreIndex)
+{
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(4);
+    // Core slot 2, time 2 after filler: wait (2-2) mod 4 = 0.
+    CoreTimer t(p, c, 2, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 0u + 1u + 4u);
+}
+
+TEST(CoreTimer, PrivateFpuHasNoArbitrationOrInterconnect)
+{
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(1);
+    CoreTimer t(p, c, 0, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 4u); // filler + fpALU only
+}
+
+TEST(CoreTimer, TwoCoreSharingHasNoInterconnectCycles)
+{
+    // Table 7: 0 interconnect cycles for 2-core sharing (mirrored
+    // cores), arbitration 0-1.
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(2);
+    CoreTimer t(p, c, 0, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 0u + 0u + 4u); // time 2 is even: no wait
+}
+
+TEST(CoreTimer, EightCoreSharingWorstCaseWait)
+{
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(8);
+    // Slot 1, time 2: wait (1 - 2) mod 8 = 7; interconnect 2; fp 4.
+    CoreTimer t(p, c, 1, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 7u + 2u + 4u);
+}
+
+TEST(CoreTimer, DivideUsesThreeCycleWindows)
+{
+    const CoreParams p = noBubbleParams();
+    const ClusterConfig c = config(4);
+    // Windows rotate every 3 cycles among 4 cores (period 12). Slot 0's
+    // window starts at 0, 12, 24... After 2 filler cycles (time 2), the
+    // next window start is 12: wait 10, interconnect 1, div 20.
+    CoreTimer t(p, c, 0, 0);
+    t.runUnit(unitOf({{fp::Opcode::Div, ServiceLevel::Full}}));
+    EXPECT_EQ(t.time(), 2u + 10u + 1u + 20u);
+}
+
+TEST(CoreTimer, MiniFpuThreeCyclesPlusSlotWait)
+{
+    const CoreParams p = noBubbleParams();
+    // Private mini: no wait.
+    CoreTimer t(p, config(4, fpu::L1Design::ReducedTrivMini, 1), 0, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Mini}}));
+    EXPECT_EQ(t.time(), 2u + 3u);
+    // Mini shared by 2, mini slot 1, time 2: wait (1-2) mod 2 = 1.
+    CoreTimer t2(p, config(4, fpu::L1Design::ReducedTrivMini, 2), 0, 1);
+    t2.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Mini}}));
+    EXPECT_EQ(t2.time(), 2u + 1u + 3u);
+}
+
+TEST(CoreTimer, NarrowPhaseFillerDensity)
+{
+    // Narrow phase: (1-0.13)/0.13 = 6.692 filler per FP op.
+    const CoreParams p = noBubbleParams();
+    CoreTimer t(p, config(1), 0, 0);
+    const uint64_t instr = t.runUnit(unitOf(
+        {{fp::Opcode::Add, ServiceLevel::Trivial},
+         {fp::Opcode::Add, ServiceLevel::Trivial}},
+        fp::Phase::Narrow));
+    // 6 filler before the first op, 7 before the second (debt carry).
+    EXPECT_EQ(instr, 6u + 1u + 7u + 1u);
+    EXPECT_EQ(t.time(), 6u + 1u + 7u + 1u);
+}
+
+TEST(CoreTimer, BubblePatternAddsStallCycles)
+{
+    CoreParams p;
+    p.bubbleEvery = 2;
+    p.bubbleCycles = 3;
+    CoreTimer t(p, config(1), 0, 0);
+    t.runUnit(unitOf({{fp::Opcode::Add, ServiceLevel::Trivial}}));
+    // 2 filler (the 2nd triggers a 3-cycle bubble) + 1 FP cycle.
+    EXPECT_EQ(t.time(), 2u + 3u + 1u);
+}
+
+TEST(ClusterSim, WorkQueueBalancesAcrossCores)
+{
+    const CoreParams p = noBubbleParams();
+    ClusterSim sim(p, config(4));
+    // 8 identical units must spread 2 per core: makespan ~= 2 units.
+    std::vector<ClassifiedUnit> units(
+        8, unitOf({{fp::Opcode::Add, ServiceLevel::Trivial},
+                   {fp::Opcode::Add, ServiceLevel::Trivial}}));
+    sim.dispatchAll(units);
+    const ClusterResult r = sim.result();
+    EXPECT_EQ(r.units, 8u);
+    // Per unit: 2 filler + 1 + 2 filler + 1 = 6 cycles (the fractional
+    // filler debt of 0.2258/op does not reach a whole instruction
+    // within two units).
+    const uint64_t one_unit_cycles = 6;
+    EXPECT_EQ(r.cycles, 2 * one_unit_cycles);
+    EXPECT_EQ(r.fpOps, 16u);
+}
+
+TEST(ClusterSim, SharingDegradesPerCoreIpcWithoutL1)
+{
+    // The core mechanism of the paper: naked conjoining loses IPC as
+    // sharing deepens, monotonically.
+    const CoreParams p; // with bubbles, realistic
+    std::vector<ClassifiedUnit> units(
+        64, unitOf({{fp::Opcode::Add, ServiceLevel::Full},
+                    {fp::Opcode::Mul, ServiceLevel::Full},
+                    {fp::Opcode::Add, ServiceLevel::Full},
+                    {fp::Opcode::Sub, ServiceLevel::Full}}));
+    double prev_ipc = 1e9;
+    for (int n : {1, 2, 4, 8}) {
+        ClusterSim sim(p, config(n));
+        sim.dispatchAll(units);
+        const double ipc = sim.result().ipcPerCore(n);
+        EXPECT_LT(ipc, prev_ipc) << "n=" << n;
+        prev_ipc = ipc;
+    }
+}
+
+TEST(ClusterSim, LocalServiceRecoversIpcUnderSharing)
+{
+    // With most ops serviced locally, 4-way sharing costs little.
+    const CoreParams p = noBubbleParams();
+    auto make_units = [&](ServiceLevel level) {
+        return std::vector<ClassifiedUnit>(
+            32, unitOf({{fp::Opcode::Add, level},
+                        {fp::Opcode::Mul, level},
+                        {fp::Opcode::Add, level}}));
+    };
+    ClusterSim shared_full(p, config(4));
+    shared_full.dispatchAll(make_units(ServiceLevel::Full));
+    ClusterSim shared_local(p, config(4, fpu::L1Design::ReducedTrivLut));
+    shared_local.dispatchAll(make_units(ServiceLevel::Trivial));
+    EXPECT_GT(shared_local.result().ipcPerCore(4),
+              1.5 * shared_full.result().ipcPerCore(4));
+}
+
+TEST(ClassifyUnits, ClassifiesAndCountsStats)
+{
+    fpu::L1Config cfg;
+    cfg.design = fpu::L1Design::ReducedTrivLut;
+    const fpu::L1Fpu l1(cfg);
+    WorkUnit unit;
+    unit.phase = fp::Phase::Lcp;
+    unit.ops = {
+        {fp::floatBits(0.0f), fp::floatBits(1.5f), fp::Opcode::Add, 5},
+        {fp::floatBits(1.5f), fp::floatBits(1.25f), fp::Opcode::Add, 5},
+        {fp::floatBits(1.5f), fp::floatBits(1.25f), fp::Opcode::Div, 5},
+    };
+    fpu::ServiceStats stats;
+    const auto classified = classifyUnits({unit}, l1, &stats);
+    ASSERT_EQ(classified.size(), 1u);
+    ASSERT_EQ(classified[0].ops.size(), 3u);
+    EXPECT_EQ(classified[0].ops[0].level, ServiceLevel::Trivial);
+    EXPECT_EQ(classified[0].ops[1].level, ServiceLevel::Lookup);
+    EXPECT_EQ(classified[0].ops[2].level, ServiceLevel::Full);
+    EXPECT_EQ(stats.total(), 3u);
+    EXPECT_EQ(stats.count(ServiceLevel::Trivial), 1u);
+}
+
+TEST(MemoDesign, PerCoreMemoResolvesRepeatedOps)
+{
+    // Under the memo ablation design a repeated non-trivial op misses
+    // once and then hits (1 cycle) on the same core.
+    const CoreParams p = noBubbleParams();
+    ClusterConfig c = config(1, fpu::L1Design::ReducedTrivMemo);
+    fpu::ServiceStats stats;
+    CoreTimer t(p, c, 0, 0, &stats);
+    ClassifiedOp op{fp::Opcode::Mul, ServiceLevel::Full, true,
+                    fp::floatBits(1.5f), fp::floatBits(2.5f), 0};
+    ClassifiedUnit unit;
+    unit.phase = fp::Phase::Lcp;
+    unit.ops = {op, op, op};
+    t.runUnit(unit);
+    EXPECT_EQ(stats.count(ServiceLevel::Full), 1u);  // first miss
+    EXPECT_EQ(stats.count(ServiceLevel::Memo), 2u);  // then hits
+}
+
+TEST(MemoDesign, NonCandidatesNeverConsultMemo)
+{
+    const CoreParams p = noBubbleParams();
+    ClusterConfig c = config(1, fpu::L1Design::ReducedTrivMemo);
+    fpu::ServiceStats stats;
+    CoreTimer t(p, c, 0, 0, &stats);
+    ClassifiedOp op{fp::Opcode::Div, ServiceLevel::Full, false,
+                    fp::floatBits(1.5f), fp::floatBits(2.5f), 0};
+    ClassifiedUnit unit;
+    unit.phase = fp::Phase::Lcp;
+    unit.ops = {op, op};
+    t.runUnit(unit);
+    EXPECT_EQ(stats.count(ServiceLevel::Memo), 0u);
+    EXPECT_EQ(stats.count(ServiceLevel::Full), 2u);
+}
+
+TEST(MemoDesign, ClusterStatsAggregateAcrossCores)
+{
+    const CoreParams p = noBubbleParams();
+    ClusterConfig c = config(4, fpu::L1Design::ReducedTrivMemo);
+    ClusterSim sim(p, c);
+    ClassifiedOp op{fp::Opcode::Add, ServiceLevel::Full, true,
+                    fp::floatBits(1.5f), fp::floatBits(0.25f), 0};
+    ClassifiedUnit unit;
+    unit.phase = fp::Phase::Lcp;
+    unit.ops = {op, op};
+    // 4 units round-robin onto 4 distinct cores: each core misses once
+    // then hits once (memo tables are per core, not shared).
+    for (int i = 0; i < 4; ++i)
+        sim.dispatch(unit);
+    const auto &stats = sim.serviceStats();
+    EXPECT_EQ(stats.count(ServiceLevel::Full), 4u);
+    EXPECT_EQ(stats.count(ServiceLevel::Memo), 4u);
+    EXPECT_EQ(stats.total(), 8u);
+}
+
+TEST(MemoDesign, LutClassificationMarksNoCandidates)
+{
+    fpu::L1Config cfg;
+    cfg.design = fpu::L1Design::ReducedTrivLut;
+    const fpu::L1Fpu l1(cfg);
+    const auto d = l1.classify(fp::Opcode::Add, fp::floatBits(1.5f),
+                               fp::floatBits(1.25f), 23);
+    EXPECT_FALSE(d.memoCandidate);
+    fpu::L1Config mcfg;
+    mcfg.design = fpu::L1Design::ReducedTrivMemo;
+    const fpu::L1Fpu ml1(mcfg);
+    const auto md = ml1.classify(fp::Opcode::Add, fp::floatBits(1.5f),
+                                 fp::floatBits(1.25f), 23);
+    EXPECT_TRUE(md.memoCandidate);
+    EXPECT_EQ(md.level, ServiceLevel::Full);
+}
+
+} // namespace

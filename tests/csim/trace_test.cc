@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for trace capture from the engine and the end-to-end
+ * experiment driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "csim/experiment.h"
+#include "csim/trace.h"
+#include "fp/precision.h"
+#include "scen/scenario.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::csim;
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::PrecisionContext::current().reset(); }
+    void TearDown() override { fp::PrecisionContext::current().reset(); }
+};
+
+TEST_F(TraceTest, RecorderCapturesNarrowAndLcpUnits)
+{
+    scen::Scenario s = scen::makeScenario("Explosions");
+    TraceRecorder recorder;
+    ScopedRecording recording(*s.world, recorder);
+    // Run past the settling phase so contacts exist.
+    for (int i = 0; i < 5; ++i) {
+        s.step();
+        recorder.takeStep();
+    }
+    s.step();
+    const StepTrace trace = recorder.takeStep();
+    EXPECT_GT(trace.narrow.size(), 0u);
+    EXPECT_GT(trace.lcp.size(), 0u);
+    for (const auto &u : trace.narrow)
+        EXPECT_EQ(u.phase, fp::Phase::Narrow);
+    for (const auto &u : trace.lcp)
+        EXPECT_EQ(u.phase, fp::Phase::Lcp);
+    EXPECT_GT(trace.fpOps(fp::Phase::Lcp), trace.lcp.size());
+}
+
+TEST_F(TraceTest, LcpUnitsScaleWithSolverIterations)
+{
+    // Each island contributes one work unit per PGS iteration (20).
+    scen::Scenario s = scen::makeScenario("Explosions");
+    TraceRecorder recorder;
+    ScopedRecording recording(*s.world, recorder);
+    for (int i = 0; i < 10; ++i) {
+        s.step();
+        recorder.takeStep();
+    }
+    s.step();
+    const StepTrace trace = recorder.takeStep();
+    const size_t islands = s.world->lastIslands().size();
+    ASSERT_GT(islands, 0u);
+    // Sleeping islands are skipped, so at most islands * 20 units.
+    EXPECT_LE(trace.lcp.size(), islands * 20);
+    EXPECT_GE(trace.lcp.size(), 20u); // at least one active island
+}
+
+TEST_F(TraceTest, RecorderRespectsPrecisionSetting)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setMantissaBits(fp::Phase::Lcp, 5);
+    scen::Scenario s = scen::makeScenario("Explosions");
+    TraceRecorder recorder;
+    ScopedRecording recording(*s.world, recorder);
+    for (int i = 0; i < 10; ++i) {
+        s.step();
+        if (i < 9)
+            recorder.takeStep();
+    }
+    const StepTrace trace = recorder.takeStep();
+    ASSERT_GT(trace.lcp.size(), 0u);
+    for (const auto &u : trace.lcp) {
+        for (const auto &op : u.ops) {
+            if (op.op == fp::Opcode::Div || op.op == fp::Opcode::Sqrt)
+                EXPECT_EQ(op.bits, 23); // divide never reduced
+            else
+                EXPECT_EQ(op.bits, 5);
+        }
+    }
+}
+
+TEST_F(TraceTest, ExperimentRunsMultipleDesignPoints)
+{
+    ExperimentConfig config;
+    config.scenario = "Explosions";
+    config.phase = fp::Phase::Lcp;
+    config.steps = 40;
+    config.profile = paperJammingProfile("Explosions");
+
+    std::vector<DesignPoint> points = {
+        {fpu::L1Design::Baseline, 1, 1, -1},
+        {fpu::L1Design::Baseline, 4, 1, -1},
+        {fpu::L1Design::ReducedTrivLut, 4, 1, -1},
+    };
+    const auto results = runExperiment(config, points);
+    ASSERT_EQ(results.size(), 3u);
+    // All points saw the same op population.
+    EXPECT_EQ(results[0].fpOps, results[1].fpOps);
+    EXPECT_EQ(results[1].fpOps, results[2].fpOps);
+    EXPECT_GT(results[0].fpOps, 1000u);
+    // Private-FPU baseline beats 4-way-naked-conjoin per core; the
+    // HFPU recovers a large part of the loss.
+    EXPECT_GT(results[0].ipcPerCore, results[1].ipcPerCore);
+    EXPECT_GT(results[2].ipcPerCore, results[1].ipcPerCore);
+    // The L1 serviced a meaningful fraction of ops locally.
+    EXPECT_GT(results[2].service.fractionLocalOneCycle(), 0.2);
+    // Baseline design has no local service.
+    EXPECT_EQ(results[0].service.fractionLocalOneCycle(), 0.0);
+}
+
+TEST_F(TraceTest, ExperimentIsDeterministic)
+{
+    ExperimentConfig config;
+    config.scenario = "Ragdoll";
+    config.phase = fp::Phase::Narrow;
+    config.steps = 20;
+    config.profile = paperJammingProfile("Ragdoll");
+    std::vector<DesignPoint> points = {
+        {fpu::L1Design::ReducedTriv, 4, 1, -1}};
+    const auto a = runExperiment(config, points);
+    const auto b = runExperiment(config, points);
+    EXPECT_EQ(a[0].cycles, b[0].cycles);
+    EXPECT_EQ(a[0].instructions, b[0].instructions);
+    EXPECT_EQ(a[0].fpOps, b[0].fpOps);
+}
+
+} // namespace

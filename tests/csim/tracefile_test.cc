@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for trace serialization: round-trip fidelity, corruption
+ * detection, and record/replay equivalence with the live pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "csim/cluster.h"
+#include "csim/tracefile.h"
+#include "fp/precision.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::csim;
+
+StepTrace
+makeStep(int narrow_units, int lcp_units, uint32_t seed)
+{
+    StepTrace step;
+    auto make_unit = [&](fp::Phase phase, int n) {
+        WorkUnit unit;
+        unit.phase = phase;
+        for (int i = 0; i < n; ++i) {
+            unit.ops.push_back(TraceOp{
+                seed + i, seed * 3 + i,
+                static_cast<fp::Opcode>(i % fp::kNumOpcodes),
+                static_cast<uint8_t>(i % 24)});
+        }
+        return unit;
+    };
+    for (int i = 0; i < narrow_units; ++i)
+        step.narrow.push_back(make_unit(fp::Phase::Narrow, 3 + i));
+    for (int i = 0; i < lcp_units; ++i)
+        step.lcp.push_back(make_unit(fp::Phase::Lcp, 5 + i));
+    return step;
+}
+
+TEST(TraceFile, RoundTripPreservesEverything)
+{
+    std::vector<StepTrace> steps{makeStep(2, 3, 100), makeStep(0, 1, 7),
+                                 makeStep(4, 0, 42), StepTrace{}};
+    std::stringstream buffer;
+    writeTrace(buffer, steps);
+    const auto loaded = readTrace(buffer);
+    ASSERT_EQ(loaded.size(), steps.size());
+    for (size_t s = 0; s < steps.size(); ++s) {
+        ASSERT_EQ(loaded[s].narrow.size(), steps[s].narrow.size());
+        ASSERT_EQ(loaded[s].lcp.size(), steps[s].lcp.size());
+        for (size_t u = 0; u < steps[s].lcp.size(); ++u) {
+            const auto &a = steps[s].lcp[u];
+            const auto &b = loaded[s].lcp[u];
+            ASSERT_EQ(a.ops.size(), b.ops.size());
+            EXPECT_EQ(a.phase, b.phase);
+            for (size_t o = 0; o < a.ops.size(); ++o) {
+                EXPECT_EQ(a.ops[o].a, b.ops[o].a);
+                EXPECT_EQ(a.ops[o].b, b.ops[o].b);
+                EXPECT_EQ(a.ops[o].op, b.ops[o].op);
+                EXPECT_EQ(a.ops[o].bits, b.ops[o].bits);
+            }
+        }
+    }
+}
+
+TEST(TraceFile, RejectsGarbageAndTruncation)
+{
+    std::stringstream garbage("not a trace file at all");
+    EXPECT_THROW(readTrace(garbage), std::runtime_error);
+
+    std::vector<StepTrace> steps{makeStep(1, 1, 5)};
+    std::stringstream buffer;
+    writeTrace(buffer, steps);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(readTrace(truncated), std::runtime_error);
+}
+
+TEST(TraceFile, FileRoundTrip)
+{
+    const std::string path = "/tmp/hfpu_trace_test.trace";
+    std::vector<StepTrace> steps{makeStep(1, 2, 9)};
+    saveTrace(path, steps);
+    const auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].lcp.size(), 2u);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadTrace("/no/such/file.trace"), std::runtime_error);
+}
+
+TEST(TraceFile, RecordedReplayMatchesLivePipeline)
+{
+    // Replaying a recorded trace through a cluster must give the exact
+    // cycles/instructions of feeding the same units live.
+    fp::PrecisionContext::current().reset();
+    const auto trace = recordScenarioTrace(
+        "Explosions", 20, paperJammingProfile("Explosions"));
+    ASSERT_EQ(trace.size(), 20u);
+
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    const auto loaded = readTrace(buffer);
+
+    fpu::L1Config l1cfg;
+    l1cfg.design = fpu::L1Design::ReducedTrivLut;
+    const fpu::L1Fpu l1(l1cfg);
+    ClusterConfig cc;
+    cc.coresPerFpu = 4;
+    cc.l1 = l1cfg;
+    const CoreParams params;
+    ClusterSim live(params, cc), replay(params, cc);
+    for (size_t s = 0; s < trace.size(); ++s) {
+        live.dispatchAll(classifyUnits(trace[s].lcp, l1));
+        replay.dispatchAll(classifyUnits(loaded[s].lcp, l1));
+    }
+    EXPECT_EQ(live.result().cycles, replay.result().cycles);
+    EXPECT_EQ(live.result().instructions, replay.result().instructions);
+    EXPECT_EQ(live.result().fpOps, replay.result().fpOps);
+    EXPECT_GT(live.result().fpOps, 1000u);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the PrecisionContext plumbing: per-phase widths, scoped
+ * guards, op recording, and the reduce->execute->reduce pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fp/precision.h"
+#include "fp/rounding.h"
+
+namespace {
+
+using namespace hfpu::fp;
+
+class VectorRecorder : public OpRecorder
+{
+  public:
+    void record(const OpRecord &rec) override { records.push_back(rec); }
+    std::vector<OpRecord> records;
+};
+
+class PrecisionTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { PrecisionContext::current().reset(); }
+    void TearDown() override { PrecisionContext::current().reset(); }
+};
+
+TEST_F(PrecisionTest, FullPrecisionMatchesHardware)
+{
+    EXPECT_EQ(fadd(1.25f, 2.5f), 1.25f + 2.5f);
+    EXPECT_EQ(fsub(1.25f, 2.5f), 1.25f - 2.5f);
+    EXPECT_EQ(fmul(1.25f, 2.5f), 1.25f * 2.5f);
+    EXPECT_EQ(fdiv(1.25f, 2.5f), 1.25f / 2.5f);
+    EXPECT_EQ(fsqrt(2.25f), 1.5f);
+}
+
+TEST_F(PrecisionTest, SoftFloatBackendAgrees)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setUseSoftFloat(true);
+    EXPECT_EQ(fadd(1.1f, 2.2f), 1.1f + 2.2f);
+    EXPECT_EQ(fmul(3.3f, 4.4f), 3.3f * 4.4f);
+    EXPECT_EQ(fdiv(5.5f, 2.2f), 5.5f / 2.2f);
+}
+
+TEST_F(PrecisionTest, ReducedAddDropsSmallOperand)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setAllMantissaBits(4);
+    ctx.setRoundingMode(RoundingMode::Truncation);
+    // 1 + 2^-10 at 4 mantissa bits: the sum rounds back to 1.
+    EXPECT_EQ(fadd(1.0f, 0.0009765625f), 1.0f);
+    // At full precision it does not.
+    ctx.setAllMantissaBits(23);
+    EXPECT_GT(fadd(1.0f, 0.0009765625f), 1.0f);
+}
+
+TEST_F(PrecisionTest, DivideIsNeverReduced)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setAllMantissaBits(2);
+    ctx.setRoundingMode(RoundingMode::Truncation);
+    EXPECT_EQ(fdiv(1.0f, 3.0f), 1.0f / 3.0f);
+    EXPECT_EQ(fsqrt(2.0f), std::sqrt(2.0f));
+}
+
+TEST_F(PrecisionTest, PerPhaseWidthSelectsByCurrentPhase)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setMantissaBits(Phase::Lcp, 3);
+    ctx.setMantissaBits(Phase::Narrow, 23);
+    ctx.setRoundingMode(RoundingMode::Truncation);
+    const float a = 1.0f + 1.0f / 64.0f; // needs 6 mantissa bits
+    {
+        ScopedPhase lcp(Phase::Lcp);
+        EXPECT_EQ(fmul(a, 1.0f), 1.0f); // reduced to 3 bits
+    }
+    {
+        ScopedPhase narrow(Phase::Narrow);
+        EXPECT_EQ(fmul(a, 1.0f), a); // full precision
+    }
+}
+
+TEST_F(PrecisionTest, ScopedPhaseRestores)
+{
+    auto &ctx = PrecisionContext::current();
+    EXPECT_EQ(ctx.phase(), Phase::Other);
+    {
+        ScopedPhase outer(Phase::Narrow);
+        EXPECT_EQ(ctx.phase(), Phase::Narrow);
+        {
+            ScopedPhase inner(Phase::Lcp);
+            EXPECT_EQ(ctx.phase(), Phase::Lcp);
+        }
+        EXPECT_EQ(ctx.phase(), Phase::Narrow);
+    }
+    EXPECT_EQ(ctx.phase(), Phase::Other);
+}
+
+TEST_F(PrecisionTest, ScopedFullPrecisionOverridesAndRestores)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setAllMantissaBits(3);
+    ctx.setRoundingMode(RoundingMode::Truncation);
+    const float a = 1.0f + 1.0f / 64.0f;
+    {
+        ScopedFullPrecision full;
+        EXPECT_EQ(fmul(a, 1.0f), a);
+    }
+    EXPECT_EQ(fmul(a, 1.0f), 1.0f);
+    EXPECT_EQ(ctx.mantissaBits(Phase::Lcp), 3);
+}
+
+TEST_F(PrecisionTest, RecorderSeesReducedOperands)
+{
+    auto &ctx = PrecisionContext::current();
+    VectorRecorder rec;
+    ctx.setRecorder(&rec);
+    ctx.setAllMantissaBits(4);
+    ctx.setRoundingMode(RoundingMode::Truncation);
+    ctx.setPhase(Phase::Lcp);
+
+    const float a = 1.0f + 1.0f / 256.0f; // truncates to 1.0 at 4 bits
+    fmul(a, 2.0f);
+    ASSERT_EQ(rec.records.size(), 1u);
+    const OpRecord &r = rec.records[0];
+    EXPECT_EQ(r.op, Opcode::Mul);
+    EXPECT_EQ(r.phase, Phase::Lcp);
+    EXPECT_EQ(r.mantissaBits, 4);
+    EXPECT_EQ(floatFromBits(r.a), 1.0f); // operand was reduced
+    EXPECT_EQ(floatFromBits(r.b), 2.0f);
+    EXPECT_EQ(floatFromBits(r.result), 2.0f);
+    ctx.setRecorder(nullptr);
+}
+
+TEST_F(PrecisionTest, RecorderMarksUnreducedDivide)
+{
+    auto &ctx = PrecisionContext::current();
+    VectorRecorder rec;
+    ctx.setRecorder(&rec);
+    ctx.setAllMantissaBits(4);
+    fdiv(1.0f, 3.0f);
+    ASSERT_EQ(rec.records.size(), 1u);
+    EXPECT_EQ(rec.records[0].mantissaBits, kFullMantissaBits);
+    EXPECT_EQ(floatFromBits(rec.records[0].result), 1.0f / 3.0f);
+    ctx.setRecorder(nullptr);
+}
+
+TEST_F(PrecisionTest, OpCountsAccumulateAndReset)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.resetCounts();
+    fadd(1.0f, 2.0f);
+    fadd(1.0f, 2.0f);
+    fmul(1.0f, 2.0f);
+    fdiv(1.0f, 2.0f);
+    fsqrt(4.0f);
+    EXPECT_EQ(ctx.opCount(Opcode::Add), 2u);
+    EXPECT_EQ(ctx.opCount(Opcode::Mul), 1u);
+    EXPECT_EQ(ctx.opCount(Opcode::Div), 1u);
+    EXPECT_EQ(ctx.opCount(Opcode::Sqrt), 1u);
+    EXPECT_EQ(ctx.totalOpCount(), 5u);
+    ctx.resetCounts();
+    EXPECT_EQ(ctx.totalOpCount(), 0u);
+}
+
+TEST_F(PrecisionTest, ReductionPipelineMatchesManualComposition)
+{
+    auto &ctx = PrecisionContext::current();
+    for (auto mode : {RoundingMode::RoundToNearest, RoundingMode::Jamming,
+                      RoundingMode::Truncation}) {
+        ctx.setAllMantissaBits(7);
+        ctx.setRoundingMode(mode);
+        const float a = 3.14159f, b = 2.71828f;
+        const float expect = reduce(
+            reduce(a, 7, mode) * reduce(b, 7, mode), 7, mode);
+        EXPECT_EQ(fmul(a, b), expect) << roundingModeName(mode);
+    }
+}
+
+} // namespace

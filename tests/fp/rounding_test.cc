@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for mantissa reduction under the three rounding modes
+ * (round-to-nearest, jamming, truncation) of Section 4.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fp/rounding.h"
+#include "fp/types.h"
+
+namespace {
+
+using namespace hfpu::fp;
+
+TEST(Rounding, FullWidthIsIdentity)
+{
+    std::mt19937 rng(1);
+    std::uniform_int_distribution<uint32_t> dist;
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t bits = dist(rng);
+        for (auto mode : {RoundingMode::RoundToNearest,
+                          RoundingMode::Jamming,
+                          RoundingMode::Truncation}) {
+            EXPECT_EQ(reduceMantissa(bits, 23, mode), bits);
+        }
+    }
+}
+
+TEST(Rounding, SpecialValuesPassThrough)
+{
+    const uint32_t specials[] = {
+        0x00000000u, 0x80000000u, // zeros
+        0x7f800000u, 0xff800000u, // infinities
+        0x7fc00000u, 0xffc00001u, // NaNs
+        0x00000001u, 0x007fffffu, // denormals (handling unchanged)
+        0x80000123u,
+    };
+    for (uint32_t bits : specials) {
+        for (int keep = 0; keep <= 23; ++keep) {
+            for (auto mode : {RoundingMode::RoundToNearest,
+                              RoundingMode::Jamming,
+                              RoundingMode::Truncation}) {
+                EXPECT_EQ(reduceMantissa(bits, keep, mode), bits)
+                    << std::hex << bits << " keep=" << keep;
+            }
+        }
+    }
+}
+
+TEST(Rounding, TruncationClearsLowBits)
+{
+    std::mt19937 rng(2);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(1, 254);
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t bits = packFloat(0, exp(rng), frac(rng));
+        for (int keep = 0; keep <= 23; ++keep) {
+            const uint32_t r = reduceMantissa(bits, keep,
+                                              RoundingMode::Truncation);
+            const int drop = 23 - keep;
+            EXPECT_EQ(fractionOf(r) & ((drop == 0 ? 0u
+                          : ((1u << drop) - 1))), 0u);
+            EXPECT_EQ(exponentOf(r), exponentOf(bits));
+            // Truncation never increases magnitude.
+            EXPECT_LE(std::fabs(floatFromBits(r)),
+                      std::fabs(floatFromBits(bits)));
+        }
+    }
+}
+
+TEST(Rounding, RoundToNearestErrorBoundedByHalfUlp)
+{
+    std::mt19937 rng(3);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(30, 220);
+    std::uniform_int_distribution<uint32_t> sign(0, 1);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t bits = packFloat(sign(rng), exp(rng), frac(rng));
+        for (int keep : {3, 7, 10, 14, 20}) {
+            const float orig = floatFromBits(bits);
+            const float red = floatFromBits(reduceMantissa(
+                bits, keep, RoundingMode::RoundToNearest));
+            // ulp at the reduced width.
+            const float ulp = std::ldexp(1.0f,
+                static_cast<int>(exponentOf(bits)) - 127 - keep);
+            EXPECT_LE(std::fabs(red - orig), 0.5f * ulp * 1.0000001f)
+                << std::hex << bits << " keep=" << keep;
+        }
+    }
+}
+
+TEST(Rounding, RoundToNearestCarryIntoExponent)
+{
+    // 1.111...1 rounds up to 2.0 at any reduced width.
+    const uint32_t almost_two = packFloat(0, 127, kFracMask);
+    for (int keep = 1; keep <= 22; ++keep) {
+        const float r = floatFromBits(reduceMantissa(
+            almost_two, keep, RoundingMode::RoundToNearest));
+        EXPECT_EQ(r, 2.0f) << "keep=" << keep;
+    }
+    // Max normal rounds up to infinity.
+    const uint32_t max_normal = packFloat(0, 254, kFracMask);
+    const uint32_t r = reduceMantissa(max_normal, 10,
+                                      RoundingMode::RoundToNearest);
+    EXPECT_TRUE(isInfBits(r));
+}
+
+TEST(Rounding, RoundToNearestTiesToEven)
+{
+    // fraction = 0b...01 1000..0 (tie, kept LSB odd) rounds up;
+    // fraction = 0b...00 1000..0 (tie, kept LSB even) rounds down.
+    const int keep = 10;
+    const int drop = 23 - keep;
+    const uint32_t half = 1u << (drop - 1);
+    const uint32_t odd = packFloat(0, 127, (1u << drop) | half);
+    const uint32_t even = packFloat(0, 127, half);
+    const uint32_t r_odd = reduceMantissa(odd, keep,
+                                          RoundingMode::RoundToNearest);
+    const uint32_t r_even = reduceMantissa(even, keep,
+                                           RoundingMode::RoundToNearest);
+    EXPECT_EQ(fractionOf(r_odd), 2u << drop);   // rounded up to even
+    EXPECT_EQ(fractionOf(r_even), 0u);          // rounded down to even
+}
+
+TEST(Rounding, JammingSetsLsbWhenGuardBitsNonzero)
+{
+    const int keep = 10;
+    const int drop = 23 - keep;
+    // LSB zero, top guard bit set -> LSB becomes one.
+    uint32_t bits = packFloat(0, 127, 1u << (drop - 1));
+    uint32_t r = reduceMantissa(bits, keep, RoundingMode::Jamming);
+    EXPECT_EQ(fractionOf(r), 1u << drop);
+    // LSB zero, all three guards zero but lower bits set -> guards only
+    // are examined, so LSB stays zero.
+    bits = packFloat(0, 127, 1u);
+    r = reduceMantissa(bits, keep, RoundingMode::Jamming);
+    EXPECT_EQ(fractionOf(r), 0u);
+    // LSB one, guards zero -> stays one.
+    bits = packFloat(0, 127, 1u << drop);
+    r = reduceMantissa(bits, keep, RoundingMode::Jamming);
+    EXPECT_EQ(fractionOf(r), 1u << drop);
+}
+
+TEST(Rounding, JammingNeverTouchesExponent)
+{
+    std::mt19937 rng(4);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(1, 254);
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t bits = packFloat(0, exp(rng), frac(rng));
+        for (int keep = 1; keep <= 22; ++keep) {
+            const uint32_t r = reduceMantissa(bits, keep,
+                                              RoundingMode::Jamming);
+            EXPECT_EQ(exponentOf(r), exponentOf(bits));
+        }
+    }
+}
+
+TEST(Rounding, JammingErrorIsNearlyUnbiased)
+{
+    // The paper's jamming examines only the top three dropped (guard)
+    // bits, so unlike full von Neumann jamming it keeps a small
+    // residual negative bias: exactly 1/8 of truncation's (the ignored
+    // bits below the guards average half an LSB of the guard field).
+    // Assert that: |jam bias| is about trunc bias / 8, and well below
+    // the mean absolute error. Truncation's bias equals its mean
+    // absolute error (always rounds toward zero).
+    std::mt19937 rng(5);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    const int keep = 8;
+    double jam_sum = 0.0, jam_abs = 0.0;
+    double trunc_sum = 0.0, trunc_abs = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const uint32_t bits = packFloat(0, 127, frac(rng));
+        const double orig = floatFromBits(bits);
+        const double jam = floatFromBits(
+            reduceMantissa(bits, keep, RoundingMode::Jamming));
+        const double tru = floatFromBits(
+            reduceMantissa(bits, keep, RoundingMode::Truncation));
+        jam_sum += jam - orig;
+        jam_abs += std::fabs(jam - orig);
+        trunc_sum += tru - orig;
+        trunc_abs += std::fabs(tru - orig);
+    }
+    EXPECT_LT(std::fabs(jam_sum), 0.2 * jam_abs);
+    EXPECT_NEAR(jam_sum / trunc_sum, 1.0 / 8.0, 0.02);
+    EXPECT_GT(std::fabs(trunc_sum), 0.95 * trunc_abs);
+    EXPECT_LT(trunc_sum, 0.0);
+}
+
+TEST(Rounding, FitsInMantissa)
+{
+    EXPECT_TRUE(fitsInMantissa(floatBits(1.0f), 0));
+    EXPECT_TRUE(fitsInMantissa(floatBits(1.5f), 1));
+    EXPECT_FALSE(fitsInMantissa(floatBits(1.5f), 0));
+    EXPECT_TRUE(fitsInMantissa(floatBits(0.0f), 0));
+    EXPECT_TRUE(fitsInMantissa(floatBits(-2.0f), 0));
+    EXPECT_FALSE(fitsInMantissa(floatBits(1.0f + 1.1920929e-7f), 22));
+    EXPECT_TRUE(fitsInMantissa(floatBits(1.0f + 1.1920929e-7f), 23));
+}
+
+TEST(Rounding, ReductionIsIdempotent)
+{
+    std::mt19937 rng(6);
+    std::uniform_int_distribution<uint32_t> dist;
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t bits = dist(rng);
+        for (int keep : {0, 3, 5, 9, 14, 21}) {
+            for (auto mode : {RoundingMode::RoundToNearest,
+                              RoundingMode::Jamming,
+                              RoundingMode::Truncation}) {
+                const uint32_t once = reduceMantissa(bits, keep, mode);
+                const uint32_t twice = reduceMantissa(once, keep, mode);
+                ASSERT_EQ(once, twice)
+                    << std::hex << bits << " keep=" << keep;
+            }
+        }
+    }
+}
+
+TEST(Rounding, ReducedValuesFitInWidth)
+{
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(1, 250);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t bits = packFloat(0, exp(rng), frac(rng));
+        for (int keep : {0, 2, 5, 11, 17}) {
+            for (auto mode : {RoundingMode::RoundToNearest,
+                              RoundingMode::Jamming,
+                              RoundingMode::Truncation}) {
+                const uint32_t r = reduceMantissa(bits, keep, mode);
+                ASSERT_TRUE(fitsInMantissa(r, keep))
+                    << std::hex << bits << " keep=" << keep;
+            }
+        }
+    }
+}
+
+} // namespace

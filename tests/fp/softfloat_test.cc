@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Bit-exactness tests for the from-scratch binary32 implementation
+ * against the host FPU (x86 SSE is IEEE round-to-nearest-even for
+ * single precision, so agreement must be exact, including denormals).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "fp/softfloat.h"
+#include "fp/types.h"
+
+namespace {
+
+using namespace hfpu::fp;
+
+uint32_t
+hostOp(Opcode op, uint32_t a, uint32_t b)
+{
+    const float fa = floatFromBits(a);
+    const float fb = floatFromBits(b);
+    float r = 0.0f;
+    switch (op) {
+      case Opcode::Add: r = fa + fb; break;
+      case Opcode::Sub: r = fa - fb; break;
+      case Opcode::Mul: r = fa * fb; break;
+      case Opcode::Div: r = fa / fb; break;
+      case Opcode::Sqrt: r = std::sqrt(fa); break;
+    }
+    return floatBits(r);
+}
+
+// Interesting bit patterns: zeros, denormal boundaries, one, powers of
+// two, max/min normals, infinities, NaNs, and assorted fractions.
+const std::vector<uint32_t> kEdgeCases = {
+    0x00000000u, 0x80000000u, // +0, -0
+    0x00000001u, 0x80000001u, // smallest denormals
+    0x007fffffu, 0x807fffffu, // largest denormals
+    0x00800000u, 0x80800000u, // smallest normals
+    0x3f800000u, 0xbf800000u, // +/- 1
+    0x3f800001u, 0x3f7fffffu, // 1 +/- ulp
+    0x40000000u, 0x3f000000u, // 2, 0.5
+    0x7f7fffffu, 0xff7fffffu, // +/- max normal
+    0x7f800000u, 0xff800000u, // +/- inf
+    0x7fc00000u,              // quiet NaN
+    0x34000000u, 0x4b800000u, // 2^-23, 2^24
+    0x3fc90fdbu,              // pi/2-ish
+    0x42f6e979u, 0xc2f6e979u, // ~123.456
+    0x2d593f65u,              // tiny normal
+    0x6a3f29dcu,              // huge normal
+};
+
+bool
+sameBitsOrBothNaN(uint32_t x, uint32_t y)
+{
+    if (isNaNBits(x) && isNaNBits(y))
+        return true;
+    return x == y;
+}
+
+class SoftFloatOpTest : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(SoftFloatOpTest, EdgeCaseCrossProduct)
+{
+    const Opcode op = GetParam();
+    for (uint32_t a : kEdgeCases) {
+        for (uint32_t b : kEdgeCases) {
+            const uint32_t ours = soft::executeBits(op, a, b);
+            const uint32_t host = hostOp(op, a, b);
+            EXPECT_TRUE(sameBitsOrBothNaN(ours, host))
+                << opcodeName(op) << " a=0x" << std::hex << a << " b=0x"
+                << b << " ours=0x" << ours << " host=0x" << host;
+        }
+    }
+}
+
+TEST_P(SoftFloatOpTest, RandomUniformBitPatterns)
+{
+    const Opcode op = GetParam();
+    std::mt19937 rng(12345);
+    std::uniform_int_distribution<uint32_t> dist;
+    for (int i = 0; i < 200000; ++i) {
+        const uint32_t a = dist(rng);
+        const uint32_t b = dist(rng);
+        const uint32_t ours = soft::executeBits(op, a, b);
+        const uint32_t host = hostOp(op, a, b);
+        ASSERT_TRUE(sameBitsOrBothNaN(ours, host))
+            << opcodeName(op) << " a=0x" << std::hex << a << " b=0x" << b
+            << " ours=0x" << ours << " host=0x" << host;
+    }
+}
+
+TEST_P(SoftFloatOpTest, RandomNearbyMagnitudes)
+{
+    // Operands with close exponents exercise cancellation paths.
+    const Opcode op = GetParam();
+    std::mt19937 rng(777);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(1, 253);
+    std::uniform_int_distribution<int> delta(-2, 2);
+    std::uniform_int_distribution<uint32_t> sign(0, 1);
+    for (int i = 0; i < 200000; ++i) {
+        const uint32_t ea = exp(rng);
+        const uint32_t eb = static_cast<uint32_t>(
+            std::clamp<int>(static_cast<int>(ea) + delta(rng), 1, 254));
+        const uint32_t a = packFloat(sign(rng), ea, frac(rng));
+        const uint32_t b = packFloat(sign(rng), eb, frac(rng));
+        const uint32_t ours = soft::executeBits(op, a, b);
+        const uint32_t host = hostOp(op, a, b);
+        ASSERT_TRUE(sameBitsOrBothNaN(ours, host))
+            << opcodeName(op) << " a=0x" << std::hex << a << " b=0x" << b
+            << " ours=0x" << ours << " host=0x" << host;
+    }
+}
+
+TEST_P(SoftFloatOpTest, RandomDenormalHeavy)
+{
+    const Opcode op = GetParam();
+    std::mt19937 rng(999);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    std::uniform_int_distribution<uint32_t> exp(0, 3);
+    std::uniform_int_distribution<uint32_t> sign(0, 1);
+    for (int i = 0; i < 100000; ++i) {
+        const uint32_t a = packFloat(sign(rng), exp(rng), frac(rng));
+        const uint32_t b = packFloat(sign(rng), exp(rng), frac(rng));
+        const uint32_t ours = soft::executeBits(op, a, b);
+        const uint32_t host = hostOp(op, a, b);
+        ASSERT_TRUE(sameBitsOrBothNaN(ours, host))
+            << opcodeName(op) << " a=0x" << std::hex << a << " b=0x" << b
+            << " ours=0x" << ours << " host=0x" << host;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SoftFloatOpTest,
+                         ::testing::Values(Opcode::Add, Opcode::Sub,
+                                           Opcode::Mul, Opcode::Div),
+                         [](const auto &info) {
+                             return opcodeName(info.param);
+                         });
+
+TEST(SoftFloatSqrt, MatchesHostOnEdgeCases)
+{
+    for (uint32_t a : kEdgeCases) {
+        const uint32_t ours = soft::executeBits(Opcode::Sqrt, a, 0);
+        const uint32_t host = hostOp(Opcode::Sqrt, a, 0);
+        EXPECT_TRUE(sameBitsOrBothNaN(ours, host))
+            << "sqrt a=0x" << std::hex << a << " ours=0x" << ours
+            << " host=0x" << host;
+    }
+}
+
+TEST(SoftFloatSqrt, MatchesHostOnRandomPositives)
+{
+    std::mt19937 rng(4242);
+    std::uniform_int_distribution<uint32_t> dist(0, 0x7f7fffffu);
+    for (int i = 0; i < 200000; ++i) {
+        const uint32_t a = dist(rng);
+        const uint32_t ours = soft::executeBits(Opcode::Sqrt, a, 0);
+        const uint32_t host = hostOp(Opcode::Sqrt, a, 0);
+        ASSERT_TRUE(sameBitsOrBothNaN(ours, host))
+            << "sqrt a=0x" << std::hex << a << " ours=0x" << ours
+            << " host=0x" << host;
+    }
+}
+
+TEST(SoftFloatSqrt, NegativeInputIsNaN)
+{
+    EXPECT_TRUE(isNaNBits(soft::executeBits(Opcode::Sqrt,
+                                            floatBits(-1.0f), 0)));
+    EXPECT_TRUE(isNaNBits(soft::executeBits(Opcode::Sqrt,
+                                            floatBits(-0.5f), 0)));
+    // sqrt(-0) = -0 per IEEE.
+    EXPECT_EQ(soft::executeBits(Opcode::Sqrt, 0x80000000u, 0),
+              0x80000000u);
+}
+
+TEST(SoftFloatNarrow, NarrowExecutionRoundsResultMantissa)
+{
+    // 1 + 2^-14 at 14 result bits is representable exactly.
+    const uint32_t one = floatBits(1.0f);
+    const uint32_t tiny = floatBits(6.103515625e-05f); // 2^-14
+    const uint32_t narrow = soft::executeNarrowBits(Opcode::Add, one, tiny,
+                                                    14);
+    EXPECT_EQ(floatFromBits(narrow), 1.0f + 6.103515625e-05f);
+    // 1 + 2^-15 rounds to 1 + 2^-14 or 1 under RNE at 14 bits; the tie
+    // goes to even (mantissa 0), i.e. exactly 1.0.
+    const uint32_t tinier = floatBits(3.0517578125e-05f); // 2^-15
+    const uint32_t r = soft::executeNarrowBits(Opcode::Add, one, tinier,
+                                               14);
+    EXPECT_EQ(floatFromBits(r), 1.0f);
+}
+
+TEST(SoftFloatNarrow, FullWidthNarrowMatchesExact)
+{
+    std::mt19937 rng(5150);
+    std::uniform_int_distribution<uint32_t> dist;
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t a = dist(rng);
+        const uint32_t b = dist(rng);
+        EXPECT_EQ(soft::executeNarrowBits(Opcode::Mul, a, b, 23),
+                  soft::executeBits(Opcode::Mul, a, b));
+    }
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for L1 FPU design composition and service-level classification
+ * (Section 5.1 design alternatives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fp/rounding.h"
+#include "fp/types.h"
+#include "fpu/hfpu.h"
+
+namespace {
+
+using namespace hfpu::fp;
+using namespace hfpu::fpu;
+
+uint32_t B(float f) { return floatBits(f); }
+
+L1Fpu
+make(L1Design design)
+{
+    L1Config cfg;
+    cfg.design = design;
+    return L1Fpu(cfg);
+}
+
+TEST(Hfpu, BaselineSendsEverythingToFullFpu)
+{
+    const L1Fpu fpu = make(L1Design::Baseline);
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(0.0f), B(1.0f), 23).level,
+              ServiceLevel::Full);
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(1.0f), B(1.0f), 3).level,
+              ServiceLevel::Full);
+    EXPECT_EQ(fpu.lookupTable(), nullptr);
+}
+
+TEST(Hfpu, ConvTrivCatchesTable2Only)
+{
+    const L1Fpu fpu = make(L1Design::ConvTriv);
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(0.0f), B(1.5f), 23).level,
+              ServiceLevel::Trivial);
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(-1.0f), B(1.5f), 23).level,
+              ServiceLevel::Trivial);
+    // Power-of-two multiplier is NOT conventional.
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(4.0f), B(1.5f), 23).level,
+              ServiceLevel::Full);
+    // Exponent-gap add is NOT conventional.
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.0f), B(1e-30f), 5).level,
+              ServiceLevel::Full);
+}
+
+TEST(Hfpu, ReducedTrivAddsExtendedConditions)
+{
+    const L1Fpu fpu = make(L1Design::ReducedTriv);
+    auto d = fpu.classify(Opcode::Mul, B(4.0f), B(1.5f), 5);
+    EXPECT_EQ(d.level, ServiceLevel::Trivial);
+    EXPECT_EQ(d.condition, TrivCondition::MulUnitMantissa);
+    d = fpu.classify(Opcode::Add, B(1.0f), B(1e-30f), 5);
+    EXPECT_EQ(d.level, ServiceLevel::Trivial);
+    EXPECT_EQ(d.condition, TrivCondition::AddExponentGap);
+    // Non-trivial still goes to the full FPU (no LUT in this design).
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 5).level,
+              ServiceLevel::Full);
+}
+
+TEST(Hfpu, LutDesignServicesLowPrecisionAddsAndMuls)
+{
+    const L1Fpu fpu = make(L1Design::ReducedTrivLut);
+    ASSERT_NE(fpu.lookupTable(), nullptr);
+    // Trivial wins first.
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(1.0f), B(1.5f), 5).level,
+              ServiceLevel::Trivial);
+    // Non-trivial low-precision add is served by the table.
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 5).level,
+              ServiceLevel::Lookup);
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(1.5f), B(1.25f), 4).level,
+              ServiceLevel::Lookup);
+    // Precision 6 and up bypasses the table.
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 6).level,
+              ServiceLevel::Full);
+    // Divide never uses the table.
+    EXPECT_EQ(fpu.classify(Opcode::Div, B(1.5f), B(1.25f), 5).level,
+              ServiceLevel::Full);
+}
+
+TEST(Hfpu, MiniDesignCoversUpToFourteenBits)
+{
+    const L1Fpu fpu = make(L1Design::ReducedTrivMini);
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 14).level,
+              ServiceLevel::Mini);
+    EXPECT_EQ(fpu.classify(Opcode::Mul, B(1.5f), B(1.25f), 3).level,
+              ServiceLevel::Mini);
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 15).level,
+              ServiceLevel::Full);
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(1.5f), B(1.25f), 23).level,
+              ServiceLevel::Full);
+    // Trivial checked before the mini-FPU.
+    EXPECT_EQ(fpu.classify(Opcode::Add, B(0.0f), B(1.25f), 3).level,
+              ServiceLevel::Trivial);
+    // Divide is not a mini-FPU op.
+    EXPECT_EQ(fpu.classify(Opcode::Div, B(1.5f), B(1.25f), 3).level,
+              ServiceLevel::Full);
+}
+
+TEST(Hfpu, SqrtAlwaysFullUnlessConventionallyTrivial)
+{
+    const L1Fpu fpu = make(L1Design::ReducedTrivLut);
+    EXPECT_EQ(fpu.classify(Opcode::Sqrt, B(0.0f), 0, 3).level,
+              ServiceLevel::Trivial);
+    EXPECT_EQ(fpu.classify(Opcode::Sqrt, B(2.0f), 0, 3).level,
+              ServiceLevel::Full);
+}
+
+TEST(Hfpu, ClassifyOpRecordOverload)
+{
+    const L1Fpu fpu = make(L1Design::ReducedTrivLut);
+    OpRecord rec{Opcode::Add, Phase::Lcp, 5, B(1.5f), B(1.25f),
+                 B(2.75f)};
+    EXPECT_EQ(fpu.classify(rec).level, ServiceLevel::Lookup);
+}
+
+TEST(ServiceStats, FractionsAndPerOpcodeCounts)
+{
+    ServiceStats stats;
+    stats.note(Opcode::Add, ServiceLevel::Trivial);
+    stats.note(Opcode::Add, ServiceLevel::Lookup);
+    stats.note(Opcode::Mul, ServiceLevel::Full);
+    stats.note(Opcode::Mul, ServiceLevel::Mini);
+    EXPECT_EQ(stats.total(), 4u);
+    EXPECT_EQ(stats.count(ServiceLevel::Trivial), 1u);
+    EXPECT_EQ(stats.count(Opcode::Add, ServiceLevel::Lookup), 1u);
+    EXPECT_EQ(stats.count(Opcode::Mul, ServiceLevel::Full), 1u);
+    EXPECT_DOUBLE_EQ(stats.fractionLocalOneCycle(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.fraction(ServiceLevel::Mini), 0.25);
+    stats.reset();
+    EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(Hfpu, DesignNamesAreDistinct)
+{
+    EXPECT_STRNE(l1DesignName(L1Design::Baseline),
+                 l1DesignName(L1Design::ConvTriv));
+    EXPECT_STRNE(l1DesignName(L1Design::ReducedTriv),
+                 l1DesignName(L1Design::ReducedTrivLut));
+    EXPECT_STRNE(serviceLevelName(ServiceLevel::Trivial),
+                 serviceLevelName(ServiceLevel::Lookup));
+}
+
+} // namespace

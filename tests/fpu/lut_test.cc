@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the boot-time mantissa lookup table (Section 4.3.4):
+ * exhaustive verification of all three banks against the structure's
+ * specification, the equal-exponent corner case, carry annotation,
+ * range fallbacks, and the paper-literal (no subtract bank) variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "fp/rounding.h"
+#include "fp/types.h"
+#include "fpu/lut.h"
+
+namespace {
+
+using namespace hfpu::fp;
+using namespace hfpu::fpu;
+
+/** Build a reduced operand: (1 + frac5/32) * 2^(exp-127), signed. */
+uint32_t
+operand5(uint32_t sign, uint32_t exp, uint32_t frac5)
+{
+    return packFloat(sign, exp, frac5 << 18);
+}
+
+/** Round a small double to a 5-bit-mantissa float with @p mode. */
+uint32_t
+round5(double value, RoundingMode mode)
+{
+    const float f = static_cast<float>(value); // exact for test values
+    return reduceMantissa(floatBits(f), 5, mode);
+}
+
+class LutModeTest : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(LutModeTest, MulBankExhaustiveMatchesReducedExact)
+{
+    // The multiply path has no alignment truncation, so the LUT result
+    // must equal round5(exact product) for every operand pair.
+    const LookupTable lut(GetParam());
+    for (uint32_t x = 0; x < 32; ++x) {
+        for (uint32_t y = 0; y < 32; ++y) {
+            for (uint32_t sa : {0u, 1u}) {
+                const uint32_t a = operand5(sa, 127, x);
+                const uint32_t b = operand5(0, 126, y);
+                uint32_t out = 0;
+                ASSERT_TRUE(lut.lookup(Opcode::Mul, a, b, out));
+                const double exact =
+                    static_cast<double>(floatFromBits(a)) *
+                    static_cast<double>(floatFromBits(b));
+                EXPECT_EQ(out, round5(exact, GetParam()))
+                    << "x=" << x << " y=" << y << " sa=" << sa;
+            }
+        }
+    }
+}
+
+TEST_P(LutModeTest, AddEqualExponentMatchesReducedExact)
+{
+    // d == 0 is computed by the 5-bit significand adder: no truncation,
+    // must equal round5(exact sum).
+    const LookupTable lut(GetParam());
+    for (uint32_t x = 0; x < 32; ++x) {
+        for (uint32_t y = 0; y < 32; ++y) {
+            const uint32_t a = operand5(0, 127, x);
+            const uint32_t b = operand5(0, 127, y);
+            uint32_t out = 0;
+            ASSERT_TRUE(lut.lookup(Opcode::Add, a, b, out));
+            const double exact =
+                static_cast<double>(floatFromBits(a)) +
+                static_cast<double>(floatFromBits(b));
+            EXPECT_EQ(out, round5(exact, GetParam()))
+                << "x=" << x << " y=" << y;
+        }
+    }
+}
+
+TEST_P(LutModeTest, SubEqualExponentExact)
+{
+    const LookupTable lut(GetParam());
+    for (uint32_t x = 0; x < 32; ++x) {
+        for (uint32_t y = 0; y < 32; ++y) {
+            const uint32_t a = operand5(0, 127, x);
+            const uint32_t b = operand5(0, 127, y);
+            uint32_t out = 0xdeadbeefu;
+            ASSERT_TRUE(lut.lookup(Opcode::Sub, a, b, out));
+            const float exact = floatFromBits(a) - floatFromBits(b);
+            // Equal-exponent differences of 5-bit operands are exact.
+            EXPECT_EQ(floatFromBits(out), exact)
+                << "x=" << x << " y=" << y;
+        }
+    }
+}
+
+TEST_P(LutModeTest, AddShiftedPathMatchesAlignmentSpec)
+{
+    // For d >= 1 the hardware truncates the aligned smaller operand to
+    // the 5-bit window (dropping shifted-out bits), then rounds the
+    // 6-bit sum. Verify against that specification exhaustively.
+    const RoundingMode mode = GetParam();
+    const LookupTable lut(mode);
+    for (int d = 1; d <= 8; ++d) {
+        for (uint32_t x = 0; x < 32; ++x) {
+            for (uint32_t y = 0; y < 32; ++y) {
+                const uint32_t a = operand5(0, 130, x);
+                const uint32_t b = operand5(0, 130 - d, y);
+                uint32_t out = 0;
+                ASSERT_TRUE(lut.lookup(Opcode::Add, a, b, out));
+                const uint32_t field =
+                    d >= 6 ? 0u : ((32u | y) >> d); // truncated align
+                const double big = (32.0 + x) / 32.0;
+                const double small = field / 32.0;
+                const double expect_val = (big + small) * 8.0; // 2^3
+                EXPECT_EQ(out, round5(expect_val, mode))
+                    << "d=" << d << " x=" << x << " y=" << y;
+            }
+        }
+    }
+}
+
+TEST_P(LutModeTest, SubShiftedPathMatchesAlignmentSpec)
+{
+    const RoundingMode mode = GetParam();
+    const LookupTable lut(mode);
+    for (int d = 1; d <= 8; ++d) {
+        for (uint32_t x = 0; x < 32; ++x) {
+            for (uint32_t y = 0; y < 32; ++y) {
+                const uint32_t a = operand5(0, 130, x);
+                const uint32_t b = operand5(1, 130 - d, y); // negative
+                uint32_t out = 0;
+                ASSERT_TRUE(lut.lookup(Opcode::Add, a, b, out));
+                const uint32_t field = d >= 6 ? 0u : ((32u | y) >> d);
+                const double big = (32.0 + x) / 32.0;
+                const double small = field / 32.0;
+                const float expect =
+                    static_cast<float>((big - small) * 8.0);
+                // Subtract-bank entries are exact.
+                EXPECT_EQ(floatFromBits(out), expect)
+                    << "d=" << d << " x=" << x << " y=" << y;
+            }
+        }
+    }
+}
+
+TEST_P(LutModeTest, LookupErrorBoundedVsExact)
+{
+    // Overall property: the LUT result differs from the infinitely
+    // precise one by less than 2 ulps at 5 bits (alignment truncation
+    // plus rounding), i.e. relative error < 2 * 2^-5.
+    const RoundingMode mode = GetParam();
+    const LookupTable lut(mode);
+    for (int d = 0; d <= 7; ++d) {
+        for (uint32_t x = 0; x < 32; ++x) {
+            for (uint32_t y = 0; y < 32; ++y) {
+                const uint32_t a = operand5(0, 132, x);
+                const uint32_t b = operand5(0, 132 - d, y);
+                for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::Mul}) {
+                    uint32_t out = 0;
+                    if (!lut.lookup(op, a, b, out))
+                        continue;
+                    const double fa = floatFromBits(a);
+                    const double fb = floatFromBits(b);
+                    double exact = 0.0;
+                    switch (op) {
+                      case Opcode::Add: exact = fa + fb; break;
+                      case Opcode::Sub: exact = fa - fb; break;
+                      case Opcode::Mul: exact = fa * fb; break;
+                      default: break;
+                    }
+                    if (exact == 0.0) {
+                        EXPECT_EQ(floatFromBits(out), 0.0f);
+                        continue;
+                    }
+                    const double got = floatFromBits(out);
+                    if (op == Opcode::Mul) {
+                        // Multiply is exactly rounded: error below one
+                        // ulp at 5 bits of the result, i.e. 2^-5
+                        // relative.
+                        EXPECT_LE(std::fabs(got - exact),
+                                  std::ldexp(std::fabs(exact), -5) *
+                                      1.0000001)
+                            << "mul d=" << d << " x=" << x << " y=" << y;
+                    } else {
+                        // Effective subtraction can cancel; alignment
+                        // truncation plus rounding stays below 2 ulps
+                        // of the *inputs'* scale.
+                        const double ulp_in =
+                            std::ldexp(1.0, 132 - 127 - 5);
+                        EXPECT_LE(std::fabs(got - exact), 2.0 * ulp_in)
+                            << opcodeName(op) << " d=" << d << " x=" << x
+                            << " y=" << y;
+                    }
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, LutModeTest,
+    ::testing::Values(RoundingMode::RoundToNearest, RoundingMode::Jamming,
+                      RoundingMode::Truncation),
+    [](const auto &info) {
+        std::string name = roundingModeName(info.param);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Lut, ServiceablePredicate)
+{
+    EXPECT_TRUE(LookupTable::serviceable(Opcode::Add, 5));
+    EXPECT_TRUE(LookupTable::serviceable(Opcode::Sub, 3));
+    EXPECT_TRUE(LookupTable::serviceable(Opcode::Mul, 0));
+    EXPECT_FALSE(LookupTable::serviceable(Opcode::Add, 6));
+    EXPECT_FALSE(LookupTable::serviceable(Opcode::Div, 3));
+    EXPECT_FALSE(LookupTable::serviceable(Opcode::Sqrt, 3));
+}
+
+TEST(Lut, RejectsSpecialsAndDenormals)
+{
+    const LookupTable lut(RoundingMode::Jamming);
+    uint32_t out;
+    const uint32_t inf = packFloat(0, kExpMask, 0);
+    const uint32_t nan = packFloat(0, kExpMask, 1);
+    const uint32_t denorm = packFloat(0, 0, 1);
+    const uint32_t one = floatBits(1.0f);
+    EXPECT_FALSE(lut.lookup(Opcode::Add, inf, one, out));
+    EXPECT_FALSE(lut.lookup(Opcode::Mul, one, nan, out));
+    EXPECT_FALSE(lut.lookup(Opcode::Add, denorm, one, out));
+    EXPECT_FALSE(lut.lookup(Opcode::Mul, floatBits(0.0f), one, out));
+}
+
+TEST(Lut, RejectsExponentOutOfRange)
+{
+    const LookupTable lut(RoundingMode::Jamming);
+    uint32_t out;
+    // Multiply overflow: 2^127 * 2^127.
+    const uint32_t huge = operand5(0, 254, 0);
+    EXPECT_FALSE(lut.lookup(Opcode::Mul, huge, huge, out));
+    // Multiply underflow into denormals: 2^-126 * 2^-126.
+    const uint32_t tiny = operand5(0, 1, 0);
+    EXPECT_FALSE(lut.lookup(Opcode::Mul, tiny, tiny, out));
+    // Add carry at the top of the range.
+    EXPECT_FALSE(lut.lookup(Opcode::Add, huge, huge, out));
+    // In-range operations still work.
+    EXPECT_TRUE(lut.lookup(Opcode::Mul, operand5(0, 127, 8),
+                           operand5(0, 127, 8), out));
+}
+
+TEST(Lut, CarryBitIncrementsExponent)
+{
+    const LookupTable lut(RoundingMode::RoundToNearest);
+    uint32_t out;
+    // 1.5 + 0.75: d = 1, sum 2.25 -> carry, exponent bumps to 128.
+    ASSERT_TRUE(lut.lookup(Opcode::Add, floatBits(1.5f),
+                           floatBits(0.75f), out));
+    EXPECT_EQ(floatFromBits(out), 2.25f);
+    EXPECT_EQ(exponentOf(out), 128u);
+}
+
+TEST(Lut, EffectiveSubtractionViaSignsAndOpcode)
+{
+    const LookupTable lut(RoundingMode::RoundToNearest);
+    uint32_t out;
+    // add(+a, -b), sub(+a, +b), sub(-a, -b) all hit the subtract bank.
+    ASSERT_TRUE(lut.lookup(Opcode::Add, floatBits(1.5f),
+                           floatBits(-0.75f), out));
+    EXPECT_EQ(floatFromBits(out), 0.75f);
+    ASSERT_TRUE(lut.lookup(Opcode::Sub, floatBits(1.5f),
+                           floatBits(0.75f), out));
+    EXPECT_EQ(floatFromBits(out), 0.75f);
+    ASSERT_TRUE(lut.lookup(Opcode::Sub, floatBits(-1.5f),
+                           floatBits(-0.75f), out));
+    EXPECT_EQ(floatFromBits(out), -0.75f);
+    // sub(+a, -b) is an effective addition.
+    ASSERT_TRUE(lut.lookup(Opcode::Sub, floatBits(1.5f),
+                           floatBits(-0.75f), out));
+    EXPECT_EQ(floatFromBits(out), 2.25f);
+}
+
+TEST(Lut, ExactCancellationYieldsPositiveZero)
+{
+    const LookupTable lut(RoundingMode::Jamming);
+    uint32_t out;
+    ASSERT_TRUE(lut.lookup(Opcode::Sub, floatBits(1.25f),
+                           floatBits(1.25f), out));
+    EXPECT_EQ(out, floatBits(0.0f));
+}
+
+TEST(Lut, PaperLiteralVariantRejectsEffectiveSubtraction)
+{
+    const LookupTable lut(RoundingMode::Jamming, /*sub_bank=*/false);
+    EXPECT_FALSE(lut.hasSubBank());
+    uint32_t out;
+    // Shifted effective subtraction falls through...
+    EXPECT_FALSE(lut.lookup(Opcode::Sub, floatBits(1.5f),
+                            floatBits(0.75f), out));
+    // ...but the d == 0 small-adder path and additions still work.
+    EXPECT_TRUE(lut.lookup(Opcode::Sub, floatBits(1.75f),
+                           floatBits(1.25f), out));
+    EXPECT_EQ(floatFromBits(out), 0.5f);
+    EXPECT_TRUE(lut.lookup(Opcode::Add, floatBits(1.5f),
+                           floatBits(0.75f), out));
+}
+
+TEST(Lut, LargeExponentGapReturnsLargerOperand)
+{
+    // d >= 6 shifts the smaller operand entirely out of the window, so
+    // the result is the larger operand (consistent with the extended
+    // trivialization rule at 5-bit precision).
+    const LookupTable lut(RoundingMode::Jamming);
+    uint32_t out;
+    const uint32_t big = operand5(0, 140, 9);
+    const uint32_t small = operand5(0, 133, 21); // d = 7
+    ASSERT_TRUE(lut.lookup(Opcode::Add, big, small, out));
+    EXPECT_EQ(out, big);
+}
+
+} // namespace

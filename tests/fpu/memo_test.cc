@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the memoization tables: indexing, associativity, LRU
+ * replacement, hit accounting, and the precision-reduction coverage
+ * property of Section 4.3.3 (at <= 4 mantissa bits a 256-entry table
+ * covers the whole operand space).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fp/rounding.h"
+#include "fp/types.h"
+#include "fpu/memo.h"
+
+namespace {
+
+using namespace hfpu::fp;
+using namespace hfpu::fpu;
+
+uint32_t B(float f) { return floatBits(f); }
+
+TEST(MemoTable, MissThenHit)
+{
+    MemoTable table;
+    EXPECT_FALSE(table.lookup(B(1.5f), B(2.5f)).has_value());
+    table.insert(B(1.5f), B(2.5f), B(4.0f));
+    auto r = table.lookup(B(1.5f), B(2.5f));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, B(4.0f));
+    EXPECT_EQ(table.lookups(), 2u);
+    EXPECT_EQ(table.hits(), 1u);
+    EXPECT_DOUBLE_EQ(table.hitRate(), 0.5);
+}
+
+TEST(MemoTable, OperandsAreNotCommutative)
+{
+    // The table matches the exact (a, b) pair; it does not canonicalize.
+    MemoTable table;
+    table.insert(B(1.5f), B(2.5f), B(4.0f));
+    EXPECT_FALSE(table.lookup(B(2.5f), B(1.5f)).has_value());
+}
+
+TEST(MemoTable, InsertRefreshesExistingEntry)
+{
+    MemoTable table;
+    table.insert(B(1.5f), B(2.5f), B(4.0f));
+    table.insert(B(1.5f), B(2.5f), B(5.0f));
+    auto r = table.lookup(B(1.5f), B(2.5f));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, B(5.0f));
+}
+
+TEST(MemoTable, LruEvictionWithinSet)
+{
+    // 2 ways, 1 set: the third distinct pair evicts the least recently
+    // used one.
+    MemoTable table(2, 2);
+    table.insert(B(1.0f) | 1u, B(1.0f), 10);
+    table.insert(B(1.0f) | 2u, B(1.0f), 20);
+    // Touch the first entry so the second becomes LRU.
+    ASSERT_TRUE(table.lookup(B(1.0f) | 1u, B(1.0f)).has_value());
+    table.insert(B(1.0f) | 3u, B(1.0f), 30);
+    EXPECT_TRUE(table.lookup(B(1.0f) | 1u, B(1.0f)).has_value());
+    EXPECT_FALSE(table.lookup(B(1.0f) | 2u, B(1.0f)).has_value());
+    EXPECT_TRUE(table.lookup(B(1.0f) | 3u, B(1.0f)).has_value());
+}
+
+TEST(MemoTable, SetIndexUsesMantissaMsbXor)
+{
+    // Pairs whose mantissa-MSB XOR differs land in different sets, so
+    // a direct-mapped-per-set conflict cannot occur between them. With
+    // 16 sets / 16 ways, fill one set's 16 ways and verify that a pair
+    // mapping to another set still inserts without evicting.
+    MemoTable table(256, 16);
+    // All these share set 0: both operands with identical top-4 bits.
+    for (uint32_t i = 0; i < 16; ++i) {
+        const uint32_t a = packFloat(0, 127, i << 6); // low bits differ
+        table.insert(a, a, i);
+    }
+    // A pair in a different set.
+    const uint32_t x = packFloat(0, 127, 0x5u << 19);
+    table.insert(x, packFloat(0, 127, 0), 99);
+    // All 17 entries must still be present.
+    for (uint32_t i = 0; i < 16; ++i) {
+        const uint32_t a = packFloat(0, 127, i << 6);
+        EXPECT_TRUE(table.lookup(a, a).has_value()) << i;
+    }
+    EXPECT_TRUE(table.lookup(x, packFloat(0, 127, 0)).has_value());
+}
+
+TEST(MemoTable, ResetClearsEverything)
+{
+    MemoTable table;
+    table.insert(B(1.5f), B(2.5f), 1);
+    table.lookup(B(1.5f), B(2.5f));
+    table.reset();
+    EXPECT_EQ(table.lookups(), 0u);
+    EXPECT_EQ(table.hits(), 0u);
+    EXPECT_FALSE(table.lookup(B(1.5f), B(2.5f)).has_value());
+}
+
+TEST(MemoUnit, AddAndSubShareTheAdderTable)
+{
+    MemoUnit unit;
+    EXPECT_EQ(unit.tableFor(Opcode::Add), unit.tableFor(Opcode::Sub));
+    EXPECT_NE(unit.tableFor(Opcode::Add), unit.tableFor(Opcode::Mul));
+    EXPECT_EQ(unit.tableFor(Opcode::Div), nullptr);
+    EXPECT_EQ(unit.tableFor(Opcode::Sqrt), nullptr);
+}
+
+TEST(MemoUnit, AccessInstallsOnMissHitsAfter)
+{
+    MemoUnit unit;
+    EXPECT_FALSE(unit.access(Opcode::Mul, B(3.0f), B(4.0f), B(12.0f)));
+    EXPECT_TRUE(unit.access(Opcode::Mul, B(3.0f), B(4.0f), B(12.0f)));
+    EXPECT_FALSE(unit.access(Opcode::Div, B(3.0f), B(4.0f), B(0.75f)));
+    EXPECT_FALSE(unit.access(Opcode::Div, B(3.0f), B(4.0f), B(0.75f)));
+}
+
+TEST(MemoCoverage, FourBitOperandSpaceFitsEntirely)
+{
+    // Paper: "For a 4-bit or 3-bit mantissa, the 256-entry memoization
+    // table can store all possible operand pairs". With a fixed
+    // exponent, 4-bit mantissas give 16x16 = 256 pairs; after one warm
+    // pass every subsequent lookup must hit.
+    MemoTable table(256, 16);
+    for (uint32_t x = 0; x < 16; ++x) {
+        for (uint32_t y = 0; y < 16; ++y) {
+            const uint32_t a = packFloat(0, 127, x << 19);
+            const uint32_t b = packFloat(0, 127, y << 19);
+            if (!table.lookup(a, b).has_value())
+                table.insert(a, b, x * 16 + y);
+        }
+    }
+    for (uint32_t x = 0; x < 16; ++x) {
+        for (uint32_t y = 0; y < 16; ++y) {
+            const uint32_t a = packFloat(0, 127, x << 19);
+            const uint32_t b = packFloat(0, 127, y << 19);
+            auto r = table.lookup(a, b);
+            ASSERT_TRUE(r.has_value()) << x << "," << y;
+            EXPECT_EQ(*r, x * 16 + y);
+        }
+    }
+}
+
+TEST(MemoCoverage, ReducedPrecisionRaisesHitRate)
+{
+    // Streams of random full-precision multiplies barely hit; the same
+    // stream reduced to 4 mantissa bits hits nearly always after warmup
+    // (the value-space collapse of Section 4.3.3).
+    std::mt19937 rng(31337);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    MemoTable full(256, 16), reduced(256, 16);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const uint32_t a = packFloat(0, 127, frac(rng));
+        const uint32_t b = packFloat(0, 126, frac(rng));
+        if (!full.lookup(a, b).has_value())
+            full.insert(a, b, 0);
+        const uint32_t ra = reduceMantissa(a, 4, RoundingMode::Jamming);
+        const uint32_t rb = reduceMantissa(b, 4, RoundingMode::Jamming);
+        if (!reduced.lookup(ra, rb).has_value())
+            reduced.insert(ra, rb, 0);
+    }
+    EXPECT_LT(full.hitRate(), 0.02);
+    EXPECT_GT(reduced.hitRate(), 0.90);
+}
+
+TEST(FuzzyMemo, ReducedTagsMatchNearbyOperands)
+{
+    // Alvarez et al.'s fuzzy reuse: operands equal after reduction to
+    // the tag width hit the same entry.
+    MemoTable exact(256, 16, 23);
+    MemoTable fuzzy(256, 16, 5);
+    const uint32_t a1 = packFloat(0, 127, 0x155555u);
+    const uint32_t a2 = packFloat(0, 127, 0x155554u); // 1 ulp apart
+    const uint32_t b = B(2.0f);
+    exact.insert(a1, b, B(3.0f));
+    fuzzy.insert(a1, b, B(3.0f));
+    EXPECT_FALSE(exact.lookup(a2, b).has_value());
+    EXPECT_TRUE(fuzzy.lookup(a2, b).has_value());
+    // Distinct at 5 bits stays distinct.
+    const uint32_t far = packFloat(0, 127, 0x700000u);
+    EXPECT_FALSE(fuzzy.lookup(far, b).has_value());
+}
+
+TEST(FuzzyMemo, FullWidthTagIsExact)
+{
+    MemoTable table(256, 16, 23);
+    const uint32_t a1 = packFloat(0, 127, 0x155555u);
+    const uint32_t a2 = packFloat(0, 127, 0x155554u);
+    table.insert(a1, B(2.0f), 1);
+    EXPECT_TRUE(table.lookup(a1, B(2.0f)).has_value());
+    EXPECT_FALSE(table.lookup(a2, B(2.0f)).has_value());
+}
+
+TEST(FuzzyMemo, HitRateRisesWithFuzzierTags)
+{
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
+    MemoTable exact(256, 16, 23);
+    MemoTable fuzzy(256, 16, 4);
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t a = packFloat(0, 127, frac(rng));
+        const uint32_t b = packFloat(0, 126, frac(rng));
+        if (!exact.lookup(a, b).has_value())
+            exact.insert(a, b, 0);
+        if (!fuzzy.lookup(a, b).has_value())
+            fuzzy.insert(a, b, 0);
+    }
+    EXPECT_GT(fuzzy.hitRate(), exact.hitRate() + 0.5);
+}
+
+} // namespace

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for trivialization: every Table 2 conventional case, the three
+ * extended conditions of Section 4.3.1 with their exact boundaries, and
+ * the stats collector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/rounding.h"
+#include "fp/types.h"
+#include "fpu/trivial.h"
+
+namespace {
+
+using namespace hfpu::fp;
+using namespace hfpu::fpu;
+
+uint32_t B(float f) { return floatBits(f); }
+float F(uint32_t b) { return floatFromBits(b); }
+
+// ---------------------------------------------------------------- Table 2
+
+TEST(ConventionalTriv, AddWithZeroOperand)
+{
+    auto r = checkConventional(Opcode::Add, B(0.0f), B(3.5f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::AddZeroOperand);
+    EXPECT_EQ(F(r.resultBits), 3.5f);
+
+    r = checkConventional(Opcode::Add, B(-7.25f), B(0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -7.25f);
+
+    r = checkConventional(Opcode::Add, B(-0.0f), B(42.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), 42.0f);
+}
+
+TEST(ConventionalTriv, SubWithZeroOperand)
+{
+    auto r = checkConventional(Opcode::Sub, B(0.0f), B(3.5f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -3.5f);
+
+    r = checkConventional(Opcode::Sub, B(3.5f), B(0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), 3.5f);
+}
+
+TEST(ConventionalTriv, ZeroPlusZeroSignSemantics)
+{
+    // Matches IEEE RN semantics so trivialization injects no error.
+    auto r = checkConventional(Opcode::Add, B(0.0f), B(-0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.resultBits, B(0.0f));
+    r = checkConventional(Opcode::Add, B(-0.0f), B(-0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.resultBits, B(-0.0f));
+    r = checkConventional(Opcode::Sub, B(-0.0f), B(0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.resultBits, B(-0.0f));
+}
+
+TEST(ConventionalTriv, MulByZero)
+{
+    auto r = checkConventional(Opcode::Mul, B(0.0f), B(123.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::MulZeroOperand);
+    EXPECT_EQ(r.resultBits, B(0.0f));
+
+    r = checkConventional(Opcode::Mul, B(-5.0f), B(0.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.resultBits, B(-0.0f)); // sign XOR
+}
+
+TEST(ConventionalTriv, MulByPlusMinusOne)
+{
+    auto r = checkConventional(Opcode::Mul, B(1.0f), B(9.75f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::MulOneOperand);
+    EXPECT_EQ(F(r.resultBits), 9.75f);
+
+    r = checkConventional(Opcode::Mul, B(-1.0f), B(9.75f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -9.75f);
+
+    r = checkConventional(Opcode::Mul, B(2.5f), B(-1.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -2.5f);
+}
+
+TEST(ConventionalTriv, DivZeroDividendAndUnitDivisor)
+{
+    auto r = checkConventional(Opcode::Div, B(0.0f), B(4.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::DivZeroDividend);
+    EXPECT_EQ(r.resultBits, B(0.0f));
+
+    r = checkConventional(Opcode::Div, B(6.5f), B(1.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::DivUnitDivisor);
+    EXPECT_EQ(F(r.resultBits), 6.5f);
+
+    r = checkConventional(Opcode::Div, B(6.5f), B(-1.0f));
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -6.5f);
+
+    // 0 / 0 must NOT trivialize (NaN).
+    r = checkConventional(Opcode::Div, B(0.0f), B(0.0f));
+    EXPECT_FALSE(r.trivial());
+}
+
+TEST(ConventionalTriv, SqrtZeroAndOne)
+{
+    auto r = checkConventional(Opcode::Sqrt, B(0.0f), 0);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.resultBits, B(0.0f));
+    r = checkConventional(Opcode::Sqrt, B(1.0f), 0);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), 1.0f);
+    r = checkConventional(Opcode::Sqrt, B(2.0f), 0);
+    EXPECT_FALSE(r.trivial());
+}
+
+TEST(ConventionalTriv, NonTrivialOperandsFallThrough)
+{
+    EXPECT_FALSE(checkConventional(Opcode::Add, B(1.5f), B(2.5f)).trivial());
+    EXPECT_FALSE(checkConventional(Opcode::Mul, B(2.0f), B(3.0f)).trivial());
+    EXPECT_FALSE(checkConventional(Opcode::Div, B(2.0f), B(4.0f)).trivial());
+}
+
+TEST(ConventionalTriv, SpecialsNeverTrivialize)
+{
+    const uint32_t inf = packFloat(0, kExpMask, 0);
+    const uint32_t nan = packFloat(0, kExpMask, 1);
+    EXPECT_FALSE(checkConventional(Opcode::Mul, B(0.0f), inf).trivial());
+    EXPECT_FALSE(checkConventional(Opcode::Add, nan, B(0.0f)).trivial());
+    EXPECT_FALSE(checkConventional(Opcode::Mul, B(1.0f), nan).trivial());
+    EXPECT_FALSE(checkReduced(Opcode::Mul, inf, B(4.0f), 5).trivial());
+}
+
+// ---------------------------------------------- extended condition 1
+
+TEST(ReducedTriv, AddExponentGapBoundary)
+{
+    // At m mantissa bits, |Ex - Ey| > m + 1 trivializes; equal to m + 1
+    // does not.
+    const int m = 5;
+    const float big = 8.0f; // exponent 130
+    // gap = m + 2 = 7 -> trivial.
+    const float tiny = std::ldexp(1.5f, 3 - 7);
+    auto r = checkReduced(Opcode::Add, B(big), B(tiny), m);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::AddExponentGap);
+    EXPECT_EQ(F(r.resultBits), big);
+
+    // gap = m + 1 = 6 -> not trivial.
+    const float close = std::ldexp(1.5f, 3 - 6);
+    EXPECT_FALSE(checkReduced(Opcode::Add, B(big), B(close), m).trivial());
+}
+
+TEST(ReducedTriv, AddExponentGapReturnsLargerOperandEitherSide)
+{
+    const int m = 3;
+    const float big = -16.0f;
+    const float tiny = std::ldexp(1.0f, 4 - (m + 2));
+    auto r = checkReduced(Opcode::Add, B(tiny), B(big), m);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), big);
+}
+
+TEST(ReducedTriv, SubExponentGapNegatesWhenLargerIsSubtrahend)
+{
+    const int m = 3;
+    const float big = 16.0f;
+    const float tiny = std::ldexp(1.0f, 4 - (m + 2));
+    auto r = checkReduced(Opcode::Sub, B(tiny), B(big), m);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -big);
+
+    r = checkReduced(Opcode::Sub, B(big), B(tiny), m);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), big);
+}
+
+TEST(ReducedTriv, GapConditionRareAtFullPrecision)
+{
+    // At 23 bits the gap must exceed 24 (i.e. be at least 25).
+    const float big = 1.0f;
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_FALSE(checkReduced(Opcode::Add, B(big), B(tiny), 23).trivial());
+    const float tinier = std::ldexp(1.0f, -25);
+    EXPECT_TRUE(checkReduced(Opcode::Add, B(big), B(tinier), 23).trivial());
+}
+
+// ---------------------------------------------- extended condition 2
+
+TEST(ReducedTriv, MulUnitMantissaAnyPowerOfTwo)
+{
+    // 4.0 = 1.0 x 2^2: mantissa is 1.0, so multiply passes the other
+    // operand through exponent/sign logic. Result is exact.
+    auto r = checkReduced(Opcode::Mul, B(4.0f), B(3.25f), 5);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::MulUnitMantissa);
+    EXPECT_EQ(F(r.resultBits), 13.0f);
+
+    r = checkReduced(Opcode::Mul, B(3.25f), B(-0.5f), 5);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -1.625f);
+
+    // Non-power-of-two reduced mantissa does not trivialize.
+    EXPECT_FALSE(checkReduced(Opcode::Mul, B(3.0f), B(5.0f), 5).trivial());
+}
+
+TEST(ReducedTriv, MulUnitMantissaPrefersConventionalAttribution)
+{
+    // x * 1 satisfies both rules; stats must attribute conventionally.
+    auto r = checkReduced(Opcode::Mul, B(1.0f), B(7.0f), 5);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::MulOneOperand);
+}
+
+// ---------------------------------------------- extended condition 3
+
+TEST(ReducedTriv, DivUnitMantissaDivisor)
+{
+    auto r = checkReduced(Opcode::Div, B(13.0f), B(4.0f), 5);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::DivUnitMantissa);
+    EXPECT_EQ(F(r.resultBits), 3.25f);
+
+    r = checkReduced(Opcode::Div, B(13.0f), B(-0.25f), 5);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), -52.0f);
+
+    // The full divisor mantissa is examined: 3.0 has mantissa 1.5.
+    EXPECT_FALSE(checkReduced(Opcode::Div, B(13.0f), B(3.0f), 5).trivial());
+    // A unit-mantissa *dividend* does not trivialize a divide.
+    EXPECT_FALSE(checkReduced(Opcode::Div, B(4.0f), B(3.0f), 5).trivial());
+}
+
+TEST(ReducedTriv, ReducedDivisorExtensionOffByDefault)
+{
+    // 1.03125 reduces to 1.0 at 4 bits but is not a power of two.
+    const float divisor = 1.03125f;
+    EXPECT_FALSE(
+        checkReduced(Opcode::Div, B(8.0f), B(divisor), 4).trivial());
+}
+
+TEST(ReducedTriv, ReducedDivisorExtensionFiresWhenEnabled)
+{
+    TrivOptions options;
+    options.reducedDivisor = true;
+    const float divisor = 1.03125f; // reduces to 1.0 at 4 bits
+    auto r = checkReduced(Opcode::Div, B(8.0f), B(divisor), 4, options);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(r.condition, TrivCondition::DivReducedDivisor);
+    // Result is the dividend scaled by the *rounded* divisor (error
+    // injected by the rounding, as the paper anticipates).
+    EXPECT_EQ(F(r.resultBits), 8.0f);
+    // A divisor whose reduced mantissa is not 1.0 still misses.
+    EXPECT_FALSE(checkReduced(Opcode::Div, B(8.0f), B(1.5f), 4, options)
+                     .trivial());
+    // At full precision the extension reduces to the exact condition.
+    EXPECT_FALSE(
+        checkReduced(Opcode::Div, B(8.0f), B(divisor), 23, options)
+            .trivial());
+}
+
+TEST(ReducedTriv, ReducedDivisorRoundsUpToNextPowerOfTwo)
+{
+    TrivOptions options;
+    options.reducedDivisor = true;
+    // 1.97 rounds to 2.0 at 3 bits: divide becomes a halving.
+    auto r = checkReduced(Opcode::Div, B(8.0f), B(1.97f), 3, options);
+    ASSERT_TRUE(r.trivial());
+    EXPECT_EQ(F(r.resultBits), 4.0f);
+}
+
+TEST(ReducedTriv, DenormalOperandsDoNotTriggerExtendedRules)
+{
+    const uint32_t denorm = packFloat(0, 0, 0x155555u);
+    EXPECT_FALSE(checkReduced(Opcode::Mul, denorm, B(3.0f), 5).trivial());
+    EXPECT_FALSE(checkReduced(Opcode::Div, B(3.0f), denorm, 5).trivial());
+}
+
+TEST(ReducedTriv, TrivialResultsAreExact)
+{
+    // Every trivialized op must produce the IEEE-exact result for the
+    // presented (already reduced) operands.
+    const float values[] = {0.0f, -0.0f, 1.0f, -1.0f, 2.0f, -8.0f,
+                            3.25f, -3.25f, 0.125f, 1024.0f};
+    for (float a : values) {
+        for (float b : values) {
+            for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                              Opcode::Div}) {
+                auto r = checkReduced(op, B(a), B(b), 23);
+                if (!r.trivial())
+                    continue;
+                float expect = 0.0f;
+                switch (op) {
+                  case Opcode::Add: expect = a + b; break;
+                  case Opcode::Sub: expect = a - b; break;
+                  case Opcode::Mul: expect = a * b; break;
+                  case Opcode::Div: expect = a / b; break;
+                  default: break;
+                }
+                EXPECT_EQ(r.resultBits, B(expect))
+                    << opcodeName(op) << " " << a << ", " << b;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(TrivStats, CountsAndFractions)
+{
+    TrivStats stats;
+    stats.note(Opcode::Add, TrivCondition::AddZeroOperand);
+    stats.note(Opcode::Add, TrivCondition::None);
+    stats.note(Opcode::Add, TrivCondition::AddExponentGap);
+    stats.note(Opcode::Mul, TrivCondition::None);
+    EXPECT_EQ(stats.total(Opcode::Add), 3u);
+    EXPECT_EQ(stats.trivial(Opcode::Add), 2u);
+    EXPECT_DOUBLE_EQ(stats.fractionTrivial(Opcode::Add), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.fractionTrivial(Opcode::Mul), 0.0);
+    EXPECT_DOUBLE_EQ(stats.fractionTrivialOverall(), 0.5);
+    EXPECT_EQ(stats.byCondition(TrivCondition::AddExponentGap), 1u);
+    stats.reset();
+    EXPECT_EQ(stats.total(Opcode::Add), 0u);
+    EXPECT_DOUBLE_EQ(stats.fractionTrivialOverall(), 0.0);
+}
+
+TEST(ReducedTriv, ReductionIncreasesTrivializationRate)
+{
+    // Property from the paper: reduced precision + new conditions catch
+    // strictly more multiplies than conventional logic at full
+    // precision (values near powers of two collapse onto them).
+    int conv_hits = 0, reduced_hits = 0, n = 0;
+    for (int i = 1; i < 200; ++i) {
+        const float v = 1.0f + 0.01f * static_cast<float>(i);
+        const uint32_t a = B(v);
+        const uint32_t a3 = hfpu::fp::reduceMantissa(
+            a, 3, RoundingMode::RoundToNearest);
+        if (checkConventional(Opcode::Mul, a, B(5.0f)).trivial())
+            ++conv_hits;
+        if (checkReduced(Opcode::Mul, a3, B(5.0f), 3).trivial())
+            ++reduced_hits;
+        ++n;
+    }
+    EXPECT_EQ(conv_hits, 0);
+    EXPECT_GT(reduced_hits, n / 20);
+}
+
+} // namespace

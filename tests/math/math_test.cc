@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the precision-aware linear algebra (Vec3/Mat33/Quat).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fp/precision.h"
+#include "math/mat33.h"
+#include "math/quat.h"
+#include "math/vec3.h"
+
+namespace {
+
+using namespace hfpu::math;
+using hfpu::fp::PrecisionContext;
+
+constexpr float kPi = 3.14159265358979f;
+
+class MathTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { PrecisionContext::current().reset(); }
+    void TearDown() override { PrecisionContext::current().reset(); }
+};
+
+void
+expectNear(const Vec3 &a, const Vec3 &b, float tol = 1e-5f)
+{
+    EXPECT_NEAR(a.x, b.x, tol);
+    EXPECT_NEAR(a.y, b.y, tol);
+    EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST_F(MathTest, VectorBasics)
+{
+    const Vec3 a{1.0f, 2.0f, 3.0f};
+    const Vec3 b{4.0f, -5.0f, 6.0f};
+    expectNear(a + b, {5.0f, -3.0f, 9.0f}, 0.0f);
+    expectNear(a - b, {-3.0f, 7.0f, -3.0f}, 0.0f);
+    expectNear(a * 2.0f, {2.0f, 4.0f, 6.0f}, 0.0f);
+    expectNear(-a, {-1.0f, -2.0f, -3.0f}, 0.0f);
+    EXPECT_EQ(a.dot(b), 4.0f - 10.0f + 18.0f);
+    EXPECT_EQ(Vec3::zero().length(), 0.0f);
+}
+
+TEST_F(MathTest, CrossProductProperties)
+{
+    const Vec3 x{1.0f, 0.0f, 0.0f}, y{0.0f, 1.0f, 0.0f},
+        z{0.0f, 0.0f, 1.0f};
+    expectNear(x.cross(y), z, 0.0f);
+    expectNear(y.cross(z), x, 0.0f);
+    expectNear(z.cross(x), y, 0.0f);
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<float> d(-10.0f, 10.0f);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3 a{d(rng), d(rng), d(rng)};
+        const Vec3 b{d(rng), d(rng), d(rng)};
+        const Vec3 c = a.cross(b);
+        EXPECT_NEAR(c.dot(a), 0.0f, 1e-3f); // orthogonality
+        EXPECT_NEAR(c.dot(b), 0.0f, 1e-3f);
+        expectNear(b.cross(a), -c, 1e-3f); // antisymmetry
+    }
+}
+
+TEST_F(MathTest, NormalizeAndDegenerate)
+{
+    const Vec3 v{3.0f, 4.0f, 0.0f};
+    expectNear(v.normalized(), {0.6f, 0.8f, 0.0f}, 1e-6f);
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+    expectNear(Vec3::zero().normalized(), Vec3::zero(), 0.0f);
+}
+
+TEST_F(MathTest, MatrixVectorAndTranspose)
+{
+    const Mat33 m{{1.0f, 2.0f, 3.0f},
+                  {4.0f, 5.0f, 6.0f},
+                  {7.0f, 8.0f, 10.0f}};
+    expectNear(m * Vec3{1.0f, 0.0f, 0.0f}, {1.0f, 4.0f, 7.0f}, 0.0f);
+    expectNear(m.transposed() * Vec3{1.0f, 0.0f, 0.0f},
+               {1.0f, 2.0f, 3.0f}, 0.0f);
+    expectNear(m.column(1), {2.0f, 5.0f, 8.0f}, 0.0f);
+    expectNear((Mat33::identity() * m).r1, m.r1, 0.0f);
+}
+
+TEST_F(MathTest, MatrixInverseRoundTrips)
+{
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<float> d(-2.0f, 2.0f);
+    int tested = 0;
+    while (tested < 50) {
+        const Mat33 m{{d(rng) + 3.0f, d(rng), d(rng)},
+                      {d(rng), d(rng) + 3.0f, d(rng)},
+                      {d(rng), d(rng), d(rng) + 3.0f}};
+        if (std::fabs(m.determinant()) < 0.5f)
+            continue;
+        const Mat33 prod = m * m.inverse();
+        expectNear(prod.r0, {1.0f, 0.0f, 0.0f}, 1e-4f);
+        expectNear(prod.r1, {0.0f, 1.0f, 0.0f}, 1e-4f);
+        expectNear(prod.r2, {0.0f, 0.0f, 1.0f}, 1e-4f);
+        ++tested;
+    }
+}
+
+TEST_F(MathTest, SingularInverseReturnsZero)
+{
+    const Mat33 singular{{1.0f, 2.0f, 3.0f},
+                         {2.0f, 4.0f, 6.0f},
+                         {0.0f, 0.0f, 1.0f}};
+    const Mat33 inv = singular.inverse();
+    expectNear(inv.r0, Vec3::zero(), 0.0f);
+}
+
+TEST_F(MathTest, SkewMatchesCross)
+{
+    const Vec3 a{1.0f, -2.0f, 0.5f};
+    const Vec3 b{0.3f, 4.0f, -1.0f};
+    expectNear(skew(a) * b, a.cross(b), 1e-6f);
+}
+
+TEST_F(MathTest, QuatAxisAngleRotation)
+{
+    const Quat q = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    expectNear(q.rotate({1.0f, 0.0f, 0.0f}), {0.0f, 1.0f, 0.0f}, 1e-6f);
+    expectNear(q.rotate({0.0f, 1.0f, 0.0f}), {-1.0f, 0.0f, 0.0f}, 1e-6f);
+}
+
+TEST_F(MathTest, QuatMatMatchesRotate)
+{
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+    for (int i = 0; i < 100; ++i) {
+        const Quat q = Quat::fromAxisAngle(
+            Vec3{d(rng), d(rng), d(rng)}.normalized(), d(rng) * kPi);
+        const Vec3 v{d(rng), d(rng), d(rng)};
+        expectNear(q.toMat33() * v, q.rotate(v), 1e-4f);
+    }
+}
+
+TEST_F(MathTest, QuatCompositionMatchesSequentialRotation)
+{
+    const Quat qz = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    const Quat qx = Quat::fromAxisAngle({1.0f, 0.0f, 0.0f}, kPi / 2.0f);
+    const Vec3 v{1.0f, 0.0f, 0.0f};
+    expectNear((qx * qz).rotate(v), qx.rotate(qz.rotate(v)), 1e-5f);
+}
+
+TEST_F(MathTest, QuatConjugateInverts)
+{
+    const Quat q = Quat::fromAxisAngle(
+        Vec3{1.0f, 2.0f, 0.5f}.normalized(), 0.7f);
+    const Vec3 v{0.2f, -0.4f, 0.9f};
+    expectNear(q.conjugate().rotate(q.rotate(v)), v, 1e-5f);
+}
+
+TEST_F(MathTest, QuatIntegrationApproximatesAxisRotation)
+{
+    // Integrating omega = (0,0,w) for time t should approach a rotation
+    // of w*t about z for small steps.
+    Quat q = Quat::identity();
+    const float w = 1.0f, dt = 0.001f;
+    for (int i = 0; i < 1000; ++i)
+        q = q.integrated({0.0f, 0.0f, w}, dt);
+    const Quat expect = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, 1.0f);
+    EXPECT_NEAR(q.w, expect.w, 1e-3f);
+    EXPECT_NEAR(q.z, expect.z, 1e-3f);
+    EXPECT_NEAR(q.normSq(), 1.0f, 1e-5f);
+}
+
+TEST_F(MathTest, ReducedPrecisionPropagatesThroughVectorOps)
+{
+    auto &ctx = PrecisionContext::current();
+    ctx.setAllMantissaBits(3);
+    ctx.setRoundingMode(hfpu::fp::RoundingMode::Truncation);
+    const Vec3 a{1.0f + 1.0f / 64.0f, 0.0f, 0.0f};
+    const Vec3 one{1.0f, 1.0f, 1.0f};
+    // The x component truncates to 1.0 under 3-bit multiplication.
+    EXPECT_EQ(a.cmul(one).x, 1.0f);
+}
+
+} // namespace

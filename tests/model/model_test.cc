@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the area/energy/table models: exact reproduction of the
+ * paper's published constants (die areas, Table 5, Table 8 overheads)
+ * and the qualitative packing/energy trends of Figure 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area.h"
+#include "model/energy.h"
+#include "model/tables.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::model;
+using fpu::L1Design;
+using fpu::ServiceLevel;
+
+TEST(Area, DieAreasMatchPaperSection52)
+{
+    // "472 mm^2 for the 1.5 mm^2 FPU, 408 for 1.0, 376 for 0.75, 328
+    // for 0.375" (paper rounds to integers).
+    EXPECT_NEAR(dieAreaMm2(1.5), 472.0, 0.5);
+    EXPECT_NEAR(dieAreaMm2(1.0), 408.0, 0.5);
+    EXPECT_NEAR(dieAreaMm2(0.75), 376.0, 0.5);
+    EXPECT_NEAR(dieAreaMm2(0.375), 328.0, 0.5);
+}
+
+TEST(Area, Table8OverheadsReproduced)
+{
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::Baseline, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::ConvTriv, 1.0), 0.0023);
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::ReducedTriv, 1.0), 0.0079);
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::ReducedTrivLut, 1.0),
+                     0.0079 + 0.080);
+    // Mini: 0.0079 + 0.6 * FPU area (private).
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::ReducedTrivMini, 1.0, 1),
+                     0.0079 + 0.6);
+    // Shared mini amortizes.
+    EXPECT_DOUBLE_EQ(l1OverheadMm2(L1Design::ReducedTrivMini, 1.0, 2),
+                     0.0079 + 0.3);
+}
+
+TEST(Area, UnsharedBaselineFitsExactly128Cores)
+{
+    for (double fpu : kFpuAreasMm2)
+        EXPECT_EQ(coresInDie(L1Design::Baseline, fpu, 1), 128);
+}
+
+TEST(Area, SharingPacksMoreCores)
+{
+    for (double fpu : kFpuAreasMm2) {
+        int prev = 0;
+        for (int n : {1, 2, 4, 8}) {
+            const int cores =
+                coresInDie(L1Design::ReducedTrivLut, fpu, n);
+            EXPECT_GE(cores, prev) << "fpu=" << fpu << " n=" << n;
+            prev = cores;
+        }
+        // 8-way sharing of the big FPU packs far more than 128 cores.
+        EXPECT_GT(coresInDie(L1Design::Baseline, 1.5, 8), 155);
+    }
+}
+
+TEST(Area, CoreCountIsMultipleOfSharingDegree)
+{
+    for (int n : {2, 4, 8}) {
+        const int cores = coresInDie(L1Design::ReducedTrivLut, 0.75, n);
+        EXPECT_EQ(cores % n, 0);
+    }
+}
+
+TEST(Area, MiniFpuPacksFewerCoresThanLut)
+{
+    // Figure 6(a): the mini-FPU's area overhead limits its core count,
+    // most severely for the largest FPU.
+    for (double fpu : kFpuAreasMm2) {
+        for (int n : {2, 4, 8}) {
+            EXPECT_LT(coresInDie(L1Design::ReducedTrivMini, fpu, n, 1),
+                      coresInDie(L1Design::ReducedTrivLut, fpu, n))
+                << "fpu=" << fpu << " n=" << n;
+        }
+    }
+    // Sharing the mini among 4 cores recovers part of the gap.
+    EXPECT_GT(coresInDie(L1Design::ReducedTrivMini, 1.5, 8, 4),
+              coresInDie(L1Design::ReducedTrivMini, 1.5, 8, 1));
+}
+
+TEST(Area, GainGrowsWithFpuSize)
+{
+    // Sharing a big FPU saves more area: cores(1.5) / 128 must exceed
+    // cores(0.375) / 128 at the same sharing degree.
+    const int big = coresInDie(L1Design::ReducedTrivLut, 1.5, 4);
+    const int small = coresInDie(L1Design::ReducedTrivLut, 0.375, 4);
+    EXPECT_GT(big, small);
+}
+
+TEST(Tables, PaperConstantsAuthoritative)
+{
+    const TableCosts lut = lookupTableCosts();
+    EXPECT_DOUBLE_EQ(lut.latencyNs, 0.40);
+    EXPECT_DOUBLE_EQ(lut.energyNj, 0.03);
+    EXPECT_DOUBLE_EQ(lut.areaMm2, 0.08);
+    const TableCosts memo = memoTableCosts();
+    EXPECT_DOUBLE_EQ(memo.latencyNs, 0.88);
+    EXPECT_DOUBLE_EQ(memo.energyNj, 0.73);
+    EXPECT_DOUBLE_EQ(memo.areaMm2, 0.35);
+    // The paper's headline: the LUT reduces area by 77%.
+    EXPECT_NEAR(1.0 - lut.areaMm2 / memo.areaMm2, 0.77, 0.01);
+}
+
+TEST(Tables, CalibratedModelReproducesBothPoints)
+{
+    TableGeometry lut_geom{2048, 8, 1, false};
+    const TableCosts lut = estimateTable(lut_geom);
+    EXPECT_NEAR(lut.latencyNs, 0.40, 1e-9);
+    EXPECT_NEAR(lut.energyNj, 0.03, 1e-9);
+    EXPECT_NEAR(lut.areaMm2, 0.08, 1e-9);
+    TableGeometry memo_geom{256, 96, 16, true};
+    const TableCosts memo = estimateTable(memo_geom);
+    EXPECT_NEAR(memo.latencyNs, 0.88, 1e-6);
+    EXPECT_NEAR(memo.energyNj, 0.73, 1e-6);
+    EXPECT_NEAR(memo.areaMm2, 0.35, 1e-6);
+}
+
+TEST(Tables, ModelScalesMonotonically)
+{
+    const TableCosts small = estimateTable({512, 8, 1, false});
+    const TableCosts big = estimateTable({4096, 8, 1, false});
+    EXPECT_LT(small.areaMm2, big.areaMm2);
+    EXPECT_LT(small.energyNj, big.energyNj);
+    EXPECT_LT(small.latencyNs, big.latencyNs);
+}
+
+fpu::ServiceStats
+statsWith(uint64_t trivial, uint64_t lookup, uint64_t mini,
+          uint64_t full)
+{
+    fpu::ServiceStats s;
+    for (uint64_t i = 0; i < trivial; ++i)
+        s.note(fp::Opcode::Add, ServiceLevel::Trivial);
+    for (uint64_t i = 0; i < lookup; ++i)
+        s.note(fp::Opcode::Add, ServiceLevel::Lookup);
+    for (uint64_t i = 0; i < mini; ++i)
+        s.note(fp::Opcode::Add, ServiceLevel::Mini);
+    for (uint64_t i = 0; i < full; ++i)
+        s.note(fp::Opcode::Add, ServiceLevel::Full);
+    return s;
+}
+
+TEST(Energy, AllFullEqualsBaselinePlusCheck)
+{
+    const auto stats = statsWith(0, 0, 0, 100);
+    const EnergyParams p;
+    const EnergyResult with_l1 = fpEnergy(stats, true, p);
+    EXPECT_NEAR(with_l1.baseline, 100 * p.fpuAdd, 1e-9);
+    EXPECT_NEAR(with_l1.hfpu, 100 * (p.fpuAdd + p.trivCheck), 1e-9);
+    EXPECT_LT(with_l1.reduction(), 0.0); // pure overhead if nothing hits
+    const EnergyResult no_l1 = fpEnergy(stats, false, p);
+    EXPECT_NEAR(no_l1.hfpu, no_l1.baseline, 1e-9);
+}
+
+TEST(Energy, HalfTrivializedHalvesEnergy)
+{
+    // The paper's LCP headline: ~53% local service gives ~50% FP
+    // energy reduction.
+    const auto stats = statsWith(45, 8, 0, 47);
+    const EnergyResult r = fpEnergy(stats, true);
+    EXPECT_GT(r.reduction(), 0.45);
+    EXPECT_LT(r.reduction(), 0.55);
+}
+
+TEST(Energy, MiniFpuChargedAtAreaRatio)
+{
+    const auto stats = statsWith(0, 0, 100, 0);
+    const EnergyParams p;
+    const EnergyResult r = fpEnergy(stats, true, p);
+    EXPECT_NEAR(r.hfpu,
+                100 * (p.miniRatio * p.fpuAdd + p.trivCheck), 1e-9);
+}
+
+TEST(Energy, DividesCostMore)
+{
+    fpu::ServiceStats s;
+    s.note(fp::Opcode::Div, ServiceLevel::Full);
+    const EnergyParams p;
+    const EnergyResult r = fpEnergy(s, false, p);
+    EXPECT_NEAR(r.hfpu, p.fpuDiv, 1e-9);
+    EXPECT_GT(p.fpuDiv, p.fpuMul);
+}
+
+} // namespace

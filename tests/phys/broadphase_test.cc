@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the sort-and-sweep broad phase: completeness against a
+ * brute-force reference, static/sleeping pair filtering, canonical
+ * ordering, and margin behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "fp/precision.h"
+#include "phys/broadphase.h"
+
+namespace {
+
+using namespace hfpu::phys;
+
+std::set<std::pair<BodyId, BodyId>>
+pairSet(const std::vector<BodyPair> &pairs)
+{
+    std::set<std::pair<BodyId, BodyId>> out;
+    for (const BodyPair &p : pairs)
+        out.insert({p.a, p.b});
+    return out;
+}
+
+TEST(Broadphase, FindsOverlapsAndSkipsSeparated)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0, 0, 0}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                               {0.8f, 0, 0})); // overlaps 0
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                               {5.0f, 0, 0})); // far away
+    const auto pairs = pairSet(sweepAndPrune(bodies));
+    EXPECT_TRUE(pairs.count({0, 1}));
+    EXPECT_FALSE(pairs.count({0, 2}));
+    EXPECT_FALSE(pairs.count({1, 2}));
+}
+
+TEST(Broadphase, PairsAreCanonicallyOrdered)
+{
+    std::vector<RigidBody> bodies;
+    for (int i = 0; i < 6; ++i) {
+        bodies.push_back(RigidBody(Shape::sphere(0.6f), 1.0f,
+                                   {0.5f * i, 0, 0}));
+    }
+    for (const BodyPair &p : sweepAndPrune(bodies))
+        EXPECT_LT(p.a, p.b);
+}
+
+TEST(Broadphase, StaticStaticPairsNeverEmitted)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(Shape::box({1, 1, 1}), {0, 0, 0}));
+    bodies.push_back(RigidBody::makeStatic(Shape::box({1, 1, 1}),
+                                           {0.5f, 0, 0}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0.2f, 0, 0}));
+    const auto pairs = pairSet(sweepAndPrune(bodies));
+    EXPECT_FALSE(pairs.count({0, 1})); // static-static excluded
+    EXPECT_TRUE(pairs.count({0, 2}));
+    EXPECT_TRUE(pairs.count({1, 2}));
+}
+
+TEST(Broadphase, SleepingPairsSkipped)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0, 0, 0}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0.8f, 0, 0}));
+    bodies[0].sleep();
+    bodies[1].sleep();
+    EXPECT_TRUE(sweepAndPrune(bodies).empty());
+    // One awake body revives the pair.
+    bodies[0].wake();
+    EXPECT_EQ(sweepAndPrune(bodies).size(), 1u);
+    // Static + sleeping is also skipped (nothing can change).
+    std::vector<RigidBody> mixed;
+    mixed.push_back(RigidBody::makeStatic(
+        Shape::plane({0, 1, 0}, 0.0f), {}));
+    mixed.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0, 0.4f, 0}));
+    mixed[1].sleep();
+    EXPECT_TRUE(sweepAndPrune(mixed).empty());
+}
+
+TEST(Broadphase, PlaneOverlapsEverything)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(
+        Shape::plane({0, 1, 0}, 0.0f), {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                               {100.0f, 50.0f, -30.0f}));
+    const auto pairs = sweepAndPrune(bodies);
+    ASSERT_EQ(pairs.size(), 1u); // plane AABB is unbounded
+}
+
+TEST(Broadphase, MarginInflatesAabbs)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f, {0, 0, 0}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                               {1.05f, 0, 0})); // 0.05 gap
+    EXPECT_TRUE(sweepAndPrune(bodies, 0.001f).empty());
+    EXPECT_EQ(sweepAndPrune(bodies, 0.1f).size(), 1u);
+}
+
+TEST(Broadphase, MatchesBruteForceOnRandomScenes)
+{
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<float> pos(-4.0f, 4.0f);
+    std::uniform_real_distribution<float> size(0.2f, 0.9f);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<RigidBody> bodies;
+        for (int i = 0; i < 40; ++i) {
+            if (i % 3 == 0) {
+                bodies.push_back(RigidBody(
+                    Shape::box({size(rng), size(rng), size(rng)}), 1.0f,
+                    {pos(rng), pos(rng), pos(rng)}));
+            } else {
+                bodies.push_back(RigidBody(Shape::sphere(size(rng)),
+                                           1.0f,
+                                           {pos(rng), pos(rng),
+                                            pos(rng)}));
+            }
+        }
+        const float margin = 0.01f;
+        const auto sweep = pairSet(sweepAndPrune(bodies, margin));
+
+        // Brute-force reference over inflated AABBs.
+        std::set<std::pair<BodyId, BodyId>> brute;
+        const hfpu::math::Vec3 m{margin, margin, margin};
+        for (BodyId i = 0; i < 40; ++i) {
+            for (BodyId j = i + 1; j < 40; ++j) {
+                Aabb a = bodies[i].aabb();
+                Aabb b = bodies[j].aabb();
+                a.min -= m;
+                a.max += m;
+                b.min -= m;
+                b.max += m;
+                if (a.overlaps(b))
+                    brute.insert({i, j});
+            }
+        }
+        EXPECT_EQ(sweep, brute) << "trial " << trial;
+    }
+}
+
+} // namespace

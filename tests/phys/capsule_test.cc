@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for capsule shapes: mass properties, AABBs, and contact
+ * generation against planes, spheres, boxes, and other capsules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/narrowphase.h"
+#include "phys/world.h"
+
+namespace {
+
+using namespace hfpu::phys;
+using hfpu::math::Quat;
+
+constexpr float kPi = 3.14159265358979f;
+
+class CapsuleTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        hfpu::fp::PrecisionContext::current().reset();
+    }
+};
+
+TEST_F(CapsuleTest, InertiaIsSymmetricAboutTheAxis)
+{
+    RigidBody cap(Shape::capsule(0.2f, 0.5f), 3.0f, {});
+    const auto i = cap.inertiaBody();
+    EXPECT_EQ(i.x, i.z);       // transverse symmetry
+    EXPECT_LT(i.y, i.x);       // slimmer about its own axis
+    EXPECT_GT(i.y, 0.0f);
+    // Longer capsule of the same mass has larger transverse inertia.
+    RigidBody longer(Shape::capsule(0.2f, 1.0f), 3.0f, {});
+    EXPECT_GT(longer.inertiaBody().x, i.x);
+}
+
+TEST_F(CapsuleTest, AabbCoversRotatedSegment)
+{
+    RigidBody cap(Shape::capsule(0.25f, 0.5f), 1.0f, {1.0f, 2.0f, 3.0f});
+    Aabb box = cap.aabb();
+    EXPECT_NEAR(box.min.y, 2.0f - 0.75f, 1e-5f);
+    EXPECT_NEAR(box.max.y, 2.0f + 0.75f, 1e-5f);
+    EXPECT_NEAR(box.min.x, 1.0f - 0.25f, 1e-5f);
+    // Rotated to lie along x.
+    cap.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    cap.updateDerived();
+    box = cap.aabb();
+    EXPECT_NEAR(box.max.x, 1.0f + 0.75f, 1e-4f);
+    EXPECT_NEAR(box.max.y, 2.0f + 0.25f, 1e-4f);
+}
+
+TEST_F(CapsuleTest, CapsulePlaneLyingGivesTwoContacts)
+{
+    // A capsule lying along x, slightly sunk into the ground.
+    RigidBody cap(Shape::capsule(0.25f, 0.5f), 1.0f, {0.0f, 0.2f, 0.0f});
+    cap.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    cap.updateDerived();
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    EXPECT_EQ(collide(cap, 0, plane, 1, out), 2); // both caps touch
+    for (const Contact &c : out) {
+        EXPECT_NEAR(c.depth, 0.05f, 1e-4f);
+        EXPECT_NEAR(c.normal.y, -1.0f, 1e-5f);
+    }
+}
+
+TEST_F(CapsuleTest, CapsulePlaneStandingGivesOneContact)
+{
+    RigidBody cap(Shape::capsule(0.25f, 0.5f), 1.0f, {0.0f, 0.7f, 0.0f});
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    EXPECT_EQ(collide(cap, 0, plane, 1, out), 1); // only the lower cap
+    EXPECT_NEAR(out[0].depth, 0.05f, 1e-4f);
+}
+
+TEST_F(CapsuleTest, CapsuleSphereHitsSideOfSegment)
+{
+    RigidBody cap(Shape::capsule(0.2f, 0.5f), 1.0f, {});
+    RigidBody ball(Shape::sphere(0.3f), 1.0f, {0.45f, 0.3f, 0.0f});
+    ContactList out;
+    ASSERT_EQ(collide(cap, 0, ball, 1, out), 1);
+    // Closest segment point is (0, 0.3, 0): normal along +x, depth
+    // 0.2 + 0.3 - 0.45.
+    EXPECT_NEAR(out[0].normal.x, 1.0f, 1e-5f);
+    EXPECT_NEAR(out[0].normal.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(out[0].depth, 0.05f, 1e-5f);
+    // Reversed order flips the normal.
+    out.clear();
+    ASSERT_EQ(collide(ball, 1, cap, 0, out), 1);
+    EXPECT_NEAR(out[0].normal.x, -1.0f, 1e-5f);
+}
+
+TEST_F(CapsuleTest, CapsuleCapsuleCrossed)
+{
+    RigidBody a(Shape::capsule(0.2f, 0.6f), 1.0f, {});
+    RigidBody b(Shape::capsule(0.2f, 0.6f), 1.0f, {0.0f, 0.0f, 0.35f});
+    b.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    b.updateDerived();
+    ContactList out;
+    ASSERT_EQ(collide(a, 0, b, 1, out), 1);
+    EXPECT_NEAR(out[0].normal.z, 1.0f, 1e-4f);
+    EXPECT_NEAR(out[0].depth, 0.05f, 1e-4f);
+    // Separated when far apart.
+    b.pos = {0.0f, 0.0f, 1.0f};
+    out.clear();
+    EXPECT_EQ(collide(a, 0, b, 1, out), 0);
+}
+
+TEST_F(CapsuleTest, CapsuleBoxSideContact)
+{
+    RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {});
+    // Upright capsule just right of the box face.
+    RigidBody cap(Shape::capsule(0.2f, 0.4f), 1.0f, {0.65f, 0.0f, 0.0f});
+    ContactList out;
+    ASSERT_EQ(collide(cap, 0, box, 1, out), 1);
+    EXPECT_NEAR(out[0].normal.x, -1.0f, 1e-3f); // capsule -> box
+    EXPECT_NEAR(out[0].depth, 0.05f, 1e-3f);
+    EXPECT_NEAR(out[0].pos.x, 0.5f, 1e-3f);
+}
+
+TEST_F(CapsuleTest, CapsuleBoxDiagonalFindsClosestPointOnSegment)
+{
+    RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {});
+    // Tilted capsule whose lower end dips toward the box corner.
+    RigidBody cap(Shape::capsule(0.15f, 0.5f), 1.0f, {0.8f, 0.9f, 0.0f});
+    cap.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, -0.8f);
+    cap.updateDerived();
+    ContactList out;
+    const int n = collide(cap, 0, box, 1, out);
+    if (n > 0) {
+        EXPECT_GT(out[0].depth, 0.0f);
+        // Contact point lies on the box surface.
+        EXPECT_LE(std::fabs(out[0].pos.x), 0.51f);
+        EXPECT_LE(std::fabs(out[0].pos.y), 0.51f);
+    }
+}
+
+TEST_F(CapsuleTest, CapsuleRestsOnGroundInSimulation)
+{
+    World world;
+    world.addBody(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    RigidBody cap(Shape::capsule(0.2f, 0.4f), 1.0f, {0.0f, 1.0f, 0.0f});
+    cap.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    cap.updateDerived();
+    const BodyId id = world.addBody(cap);
+    for (int i = 0; i < 250; ++i)
+        world.step();
+    EXPECT_TRUE(world.stateFinite());
+    EXPECT_NEAR(world.body(id).pos.y, 0.2f, 0.03f); // resting on side
+    EXPECT_LT(world.body(id).linVel.length(), 0.05f);
+}
+
+TEST_F(CapsuleTest, CapsuleRollsOffABox)
+{
+    World world;
+    world.addBody(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    world.addBody(RigidBody::makeStatic(Shape::box({0.5f, 0.5f, 0.5f}),
+                                        {0.0f, 0.5f, 0.0f}));
+    // Lying capsule dropped half-off the box edge tips over.
+    RigidBody cap(Shape::capsule(0.15f, 0.45f), 1.0f,
+                  {0.45f, 1.3f, 0.0f});
+    cap.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 2.0f);
+    cap.updateDerived();
+    const BodyId id = world.addBody(cap);
+    for (int i = 0; i < 300; ++i)
+        world.step();
+    EXPECT_TRUE(world.stateFinite());
+    // It ends up below the box top (fell or leaned off).
+    EXPECT_LT(world.body(id).pos.y, 1.1f);
+}
+
+} // namespace

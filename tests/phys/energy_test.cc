@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the energy computation and the EnergyMonitor believability
+ * rule (Section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/energy.h"
+
+namespace {
+
+using namespace hfpu::phys;
+
+TEST(Energy, KineticAndPotentialComponents)
+{
+    std::vector<RigidBody> bodies;
+    RigidBody b(Shape::sphere(0.5f), 2.0f, {0.0f, 10.0f, 0.0f});
+    b.linVel = {3.0f, 0.0f, 4.0f}; // |v| = 5
+    bodies.push_back(b);
+    const Vec3 g{0.0f, -9.81f, 0.0f};
+    const EnergyBreakdown e = computeEnergy(bodies, g);
+    EXPECT_NEAR(e.kinetic, 0.5 * 2.0 * 25.0, 1e-3);
+    EXPECT_NEAR(e.potential, 2.0 * 9.81 * 10.0, 1e-3);
+    EXPECT_NEAR(e.rotational, 0.0, 1e-9);
+}
+
+TEST(Energy, RotationalEnergyOfSpinningSphere)
+{
+    std::vector<RigidBody> bodies;
+    RigidBody b(Shape::sphere(1.0f), 5.0f, {});
+    b.angVel = {0.0f, 2.0f, 0.0f};
+    bodies.push_back(b);
+    // I = 2/5 m r^2 = 2; E = 0.5 * 2 * 4 = 4.
+    const EnergyBreakdown e = computeEnergy(bodies, {});
+    EXPECT_NEAR(e.rotational, 4.0, 1e-4);
+}
+
+TEST(Energy, RotationalEnergyInvariantUnderOrientation)
+{
+    // For a box, world-frame omega must be mapped into the body frame.
+    std::vector<RigidBody> bodies;
+    RigidBody b(Shape::box({1.0f, 0.2f, 0.2f}), 3.0f, {});
+    b.angVel = {0.0f, 0.0f, 1.5f};
+    bodies.push_back(b);
+    const double e0 = computeEnergy(bodies, {}).rotational;
+    // Rotate the body with its angular velocity vector: same energy.
+    bodies[0].orient = hfpu::math::Quat::fromAxisAngle(
+        {0.0f, 0.0f, 1.0f}, 0.9f);
+    bodies[0].updateDerived();
+    const double e1 = computeEnergy(bodies, {}).rotational;
+    EXPECT_NEAR(e0, e1, 1e-4);
+    // Rotating about a different axis changes the effective inertia.
+    bodies[0].orient = hfpu::math::Quat::fromAxisAngle(
+        {0.0f, 1.0f, 0.0f}, 1.5707963f);
+    bodies[0].updateDerived();
+    const double e2 = computeEnergy(bodies, {}).rotational;
+    EXPECT_GT(std::fabs(e2 - e0) / e0, 0.1);
+}
+
+TEST(Energy, StaticBodiesContributeNothing)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {0.0f, 100.0f, 0.0f}));
+    const EnergyBreakdown e = computeEnergy(bodies, {0.0f, -9.81f, 0.0f});
+    EXPECT_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyMonitor, FirstObservationEstablishesHistory)
+{
+    EnergyMonitor mon(0.10);
+    EXPECT_FALSE(mon.hasHistory());
+    EXPECT_EQ(mon.observe(100.0, 0.0, true), EnergyMonitor::Verdict::Ok);
+    EXPECT_TRUE(mon.hasHistory());
+    EXPECT_EQ(mon.lastEnergy(), 100.0);
+}
+
+TEST(EnergyMonitor, SmallGainAndAnyLossAreOk)
+{
+    EnergyMonitor mon(0.10);
+    mon.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon.observe(105.0, 0.0, true), EnergyMonitor::Verdict::Ok);
+    EXPECT_EQ(mon.observe(40.0, 0.0, true), EnergyMonitor::Verdict::Ok);
+    EXPECT_EQ(mon.observe(5.0, 0.0, true), EnergyMonitor::Verdict::Ok);
+}
+
+TEST(EnergyMonitor, GainBeyondThresholdIsViolation)
+{
+    EnergyMonitor mon(0.10);
+    mon.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon.observe(115.0, 0.0, true),
+              EnergyMonitor::Verdict::Violation);
+    EXPECT_NEAR(mon.lastRelativeDelta(), 0.15, 1e-9);
+}
+
+TEST(EnergyMonitor, InjectedEnergyIsDiscounted)
+{
+    // "This energy difference takes externally injected energy into
+    // account": a 50% jump fully explained by injection is fine.
+    EnergyMonitor mon(0.10);
+    mon.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon.observe(150.0, 50.0, true),
+              EnergyMonitor::Verdict::Ok);
+    // The same jump without the receipt is a violation.
+    EXPECT_EQ(mon.observe(225.0, 0.0, true),
+              EnergyMonitor::Verdict::Violation);
+}
+
+TEST(EnergyMonitor, RunawayEnergyIsBlowUp)
+{
+    EnergyMonitor mon(0.10, 10.0);
+    mon.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon.observe(100.0 + 150.0, 0.0, true),
+              EnergyMonitor::Verdict::BlowUp); // 150% > 10 * 10%
+}
+
+TEST(EnergyMonitor, NonFiniteIsBlowUp)
+{
+    EnergyMonitor mon(0.10);
+    mon.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon.observe(std::nan(""), 0.0, true),
+              EnergyMonitor::Verdict::BlowUp);
+    EnergyMonitor mon2(0.10);
+    mon2.observe(100.0, 0.0, true);
+    EXPECT_EQ(mon2.observe(100.0, 0.0, false),
+              EnergyMonitor::Verdict::BlowUp);
+}
+
+TEST(EnergyMonitor, NearZeroEnergyUsesAbsoluteFloor)
+{
+    // At ~0 J total, a 0.05 J wobble must not divide by zero or flag.
+    EnergyMonitor mon(0.10);
+    mon.observe(0.0, 0.0, true);
+    EXPECT_EQ(mon.observe(0.05, 0.0, true), EnergyMonitor::Verdict::Ok);
+    EXPECT_EQ(mon.observe(0.5, 0.0, true),
+              EnergyMonitor::Verdict::Violation);
+}
+
+TEST(EnergyMonitor, RestartClearsDelta)
+{
+    EnergyMonitor mon(0.10);
+    mon.observe(100.0, 0.0, true);
+    mon.observe(150.0, 0.0, true);
+    mon.restart(80.0);
+    EXPECT_EQ(mon.lastEnergy(), 80.0);
+    EXPECT_EQ(mon.observe(82.0, 0.0, true), EnergyMonitor::Verdict::Ok);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for island partitioning over the constraint graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/island.h"
+
+namespace {
+
+using namespace hfpu::phys;
+
+std::vector<RigidBody>
+makeBodies(int dynamic, int statics = 0)
+{
+    std::vector<RigidBody> bodies;
+    for (int i = 0; i < dynamic; ++i) {
+        bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                                   {static_cast<float>(2 * i), 0.0f, 0.0f}));
+    }
+    for (int i = 0; i < statics; ++i) {
+        bodies.push_back(RigidBody::makeStatic(
+            Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    }
+    return bodies;
+}
+
+Contact
+contactBetween(BodyId a, BodyId b)
+{
+    Contact c;
+    c.a = a;
+    c.b = b;
+    c.normal = {0.0f, 1.0f, 0.0f};
+    c.depth = 0.01f;
+    return c;
+}
+
+TEST(Islands, UnconnectedBodiesGetOwnIslands)
+{
+    auto bodies = makeBodies(3);
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto islands = buildIslands(bodies, {}, joints);
+    EXPECT_EQ(islands.size(), 3u);
+    for (const auto &island : islands) {
+        EXPECT_EQ(island.bodies.size(), 1u);
+        EXPECT_TRUE(island.contactIndices.empty());
+        EXPECT_TRUE(island.jointIndices.empty());
+    }
+}
+
+TEST(Islands, ContactsMergeIslands)
+{
+    auto bodies = makeBodies(4);
+    ContactList contacts{contactBetween(0, 1), contactBetween(2, 3)};
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto islands = buildIslands(bodies, contacts, joints);
+    ASSERT_EQ(islands.size(), 2u);
+    EXPECT_EQ(islands[0].bodies.size(), 2u);
+    EXPECT_EQ(islands[1].bodies.size(), 2u);
+    EXPECT_EQ(islands[0].contactIndices.size(), 1u);
+}
+
+TEST(Islands, JointsMergeIslands)
+{
+    auto bodies = makeBodies(3);
+    std::vector<std::unique_ptr<Joint>> joints;
+    joints.push_back(std::make_unique<DistanceJoint>(0, 2, 4.0f));
+    auto islands = buildIslands(bodies, {}, joints);
+    EXPECT_EQ(islands.size(), 2u); // {0,2} and {1}
+}
+
+TEST(Islands, BrokenJointsDoNotMerge)
+{
+    auto bodies = makeBodies(2);
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto joint = std::make_unique<DistanceJoint>(0, 1, 2.0f);
+    joint->breakImpulse = -1.0f; // breaks on first updateBreakage
+    joints.push_back(std::move(joint));
+    joints[0]->updateBreakage();
+    ASSERT_TRUE(joints[0]->broken());
+    auto islands = buildIslands(bodies, {}, joints);
+    EXPECT_EQ(islands.size(), 2u);
+}
+
+TEST(Islands, StaticBodiesDoNotBridge)
+{
+    // Two dynamic bodies both touching the same static plane stay in
+    // separate islands (the paper's per-island independence depends on
+    // this).
+    auto bodies = makeBodies(2, 1);
+    ContactList contacts{contactBetween(0, 2), contactBetween(1, 2)};
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto islands = buildIslands(bodies, contacts, joints);
+    ASSERT_EQ(islands.size(), 2u);
+    // Each island still owns its contact with the static body.
+    EXPECT_EQ(islands[0].contactIndices.size(), 1u);
+    EXPECT_EQ(islands[1].contactIndices.size(), 1u);
+}
+
+TEST(Islands, TransitiveChainMergesIntoOne)
+{
+    auto bodies = makeBodies(5);
+    ContactList contacts;
+    for (int i = 0; i < 4; ++i)
+        contacts.push_back(contactBetween(i, i + 1));
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto islands = buildIslands(bodies, contacts, joints);
+    ASSERT_EQ(islands.size(), 1u);
+    EXPECT_EQ(islands[0].bodies.size(), 5u);
+    EXPECT_EQ(islands[0].contactIndices.size(), 4u);
+}
+
+TEST(Islands, MixedContactsAndJoints)
+{
+    auto bodies = makeBodies(6);
+    ContactList contacts{contactBetween(0, 1)};
+    std::vector<std::unique_ptr<Joint>> joints;
+    joints.push_back(std::make_unique<DistanceJoint>(1, 2, 1.0f));
+    joints.push_back(std::make_unique<DistanceJoint>(4, 5, 1.0f));
+    auto islands = buildIslands(bodies, contacts, joints);
+    // {0,1,2}, {3}, {4,5}
+    EXPECT_EQ(islands.size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Property tests for narrow-phase contact generation over randomized
+ * geometry: normals are unit length and separating, depths are
+ * consistent with the analytic penetration, results are symmetric
+ * under argument order, and contacts vanish exactly when shapes
+ * separate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fp/precision.h"
+#include "phys/narrowphase.h"
+
+namespace {
+
+using namespace hfpu::phys;
+using hfpu::math::Quat;
+
+class NarrowPropertyTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        hfpu::fp::PrecisionContext::current().reset();
+    }
+
+    std::mt19937 rng{2026};
+
+    float
+    uniform(float lo, float hi)
+    {
+        return std::uniform_real_distribution<float>(lo, hi)(rng);
+    }
+
+    Quat
+    randomOrient()
+    {
+        const hfpu::math::Vec3 axis =
+            hfpu::math::Vec3{uniform(-1, 1), uniform(-1, 1),
+                             uniform(-1, 1)}
+                .normalized();
+        if (axis.lengthSq() < 0.5f)
+            return Quat::identity();
+        return Quat::fromAxisAngle(axis, uniform(-3.1f, 3.1f));
+    }
+};
+
+TEST_F(NarrowPropertyTest, SphereSphereDepthMatchesAnalytic)
+{
+    for (int i = 0; i < 500; ++i) {
+        const float r1 = uniform(0.1f, 1.0f);
+        const float r2 = uniform(0.1f, 1.0f);
+        RigidBody a(Shape::sphere(r1), 1.0f,
+                    {uniform(-2, 2), uniform(-2, 2), uniform(-2, 2)});
+        RigidBody b(Shape::sphere(r2), 1.0f,
+                    {uniform(-2, 2), uniform(-2, 2), uniform(-2, 2)});
+        const float dist = distance(a.pos, b.pos);
+        ContactList out;
+        const int n = collide(a, 0, b, 1, out);
+        if (dist < r1 + r2 && dist > 1e-6f) {
+            ASSERT_EQ(n, 1);
+            EXPECT_NEAR(out[0].depth, r1 + r2 - dist, 1e-4f);
+            EXPECT_NEAR(out[0].normal.length(), 1.0f, 1e-5f);
+            // Normal points from a toward b.
+            EXPECT_GT(out[0].normal.dot(b.pos - a.pos), 0.0f);
+        } else if (dist > r1 + r2) {
+            EXPECT_EQ(n, 0);
+        }
+    }
+}
+
+TEST_F(NarrowPropertyTest, ContactStaysWithinTheLargerSphere)
+{
+    // The sphere-sphere contact point (midway through the overlap)
+    // cannot be farther from either center than the larger radius.
+    for (int i = 0; i < 300; ++i) {
+        const float r1 = uniform(0.2f, 0.8f);
+        const float r2 = uniform(0.2f, 0.8f);
+        RigidBody a(Shape::sphere(r1), 1.0f,
+                    {uniform(-1, 1), 0.0f, 0.0f});
+        RigidBody b(Shape::sphere(r2), 1.0f,
+                    {uniform(-1, 1), uniform(-0.5f, 0.5f), 0.0f});
+        ContactList out;
+        if (collide(a, 0, b, 1, out) == 1) {
+            const float bound = std::max(r1, r2) + 1e-4f;
+            EXPECT_LE(distance(out[0].pos, a.pos), bound);
+            EXPECT_LE(distance(out[0].pos, b.pos), bound);
+        }
+    }
+}
+
+TEST_F(NarrowPropertyTest, BoxBoxNormalsAreUnitAndOpposeSeparation)
+{
+    int collided = 0;
+    for (int i = 0; i < 400; ++i) {
+        RigidBody a(Shape::box({uniform(0.2f, 0.6f), uniform(0.2f, 0.6f),
+                                uniform(0.2f, 0.6f)}),
+                    1.0f, {0.0f, 0.0f, 0.0f});
+        a.orient = randomOrient();
+        a.updateDerived();
+        RigidBody b(Shape::box({uniform(0.2f, 0.6f), uniform(0.2f, 0.6f),
+                                uniform(0.2f, 0.6f)}),
+                    1.0f,
+                    {uniform(-0.8f, 0.8f), uniform(-0.8f, 0.8f),
+                     uniform(-0.8f, 0.8f)});
+        b.orient = randomOrient();
+        b.updateDerived();
+        ContactList out;
+        const int n = collide(a, 0, b, 1, out);
+        for (int k = 0; k < n; ++k) {
+            ++collided;
+            EXPECT_NEAR(out[k].normal.length(), 1.0f, 1e-3f);
+            EXPECT_GT(out[k].depth, 0.0f);
+            EXPECT_LT(out[k].depth, 2.0f); // sane magnitude
+        }
+    }
+    EXPECT_GT(collided, 100); // the sweep actually exercised overlaps
+}
+
+TEST_F(NarrowPropertyTest, ArgumentOrderFlipsNormalOnly)
+{
+    for (int i = 0; i < 300; ++i) {
+        RigidBody a(Shape::sphere(uniform(0.2f, 0.7f)), 1.0f,
+                    {uniform(-1, 1), uniform(-1, 1), 0.0f});
+        RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {});
+        box.orient = randomOrient();
+        box.updateDerived();
+        ContactList ab, ba;
+        const int n1 = collide(a, 0, box, 1, ab);
+        const int n2 = collide(box, 1, a, 0, ba);
+        ASSERT_EQ(n1, n2);
+        for (int k = 0; k < n1; ++k) {
+            EXPECT_NEAR(ab[k].depth, ba[k].depth, 1e-5f);
+            EXPECT_NEAR(ab[k].normal.x, -ba[k].normal.x, 1e-5f);
+            EXPECT_NEAR(ab[k].normal.y, -ba[k].normal.y, 1e-5f);
+            // Body ids swap with the order.
+            EXPECT_EQ(ab[k].a, ba[k].b);
+            EXPECT_EQ(ab[k].b, ba[k].a);
+        }
+    }
+}
+
+TEST_F(NarrowPropertyTest, CapsuleDegeneratesToSphereAtZeroLength)
+{
+    // A zero-length capsule must produce the same contacts as a
+    // sphere of the same radius.
+    for (int i = 0; i < 200; ++i) {
+        const float r = uniform(0.2f, 0.6f);
+        const hfpu::math::Vec3 pos{uniform(-1, 1), uniform(-1, 1), 0.0f};
+        RigidBody cap(Shape::capsule(r, 0.0f), 1.0f, pos);
+        RigidBody sph(Shape::sphere(r), 1.0f, pos);
+        RigidBody other(Shape::sphere(0.5f), 1.0f, {0.0f, 0.0f, 0.0f});
+        ContactList via_cap, via_sph;
+        const int n1 = collide(cap, 0, other, 1, via_cap);
+        const int n2 = collide(sph, 0, other, 1, via_sph);
+        ASSERT_EQ(n1, n2);
+        if (n1 == 1) {
+            EXPECT_NEAR(via_cap[0].depth, via_sph[0].depth, 1e-5f);
+            EXPECT_NEAR(via_cap[0].normal.x, via_sph[0].normal.x, 1e-5f);
+        }
+    }
+}
+
+TEST_F(NarrowPropertyTest, DeterministicForIdenticalInputs)
+{
+    RigidBody a(Shape::box({0.4f, 0.3f, 0.5f}), 1.0f, {0.1f, 0.0f, 0.0f});
+    a.orient = Quat::fromAxisAngle({0.3f, 0.7f, 0.2f}, 1.1f).normalized();
+    a.updateDerived();
+    RigidBody b(Shape::box({0.5f, 0.4f, 0.3f}), 1.0f,
+                {0.5f, 0.3f, -0.2f});
+    b.orient = Quat::fromAxisAngle({0.8f, 0.1f, 0.5f}, -0.7f).normalized();
+    b.updateDerived();
+    ContactList c1, c2;
+    collide(a, 0, b, 1, c1);
+    collide(a, 0, b, 1, c2);
+    ASSERT_EQ(c1.size(), c2.size());
+    for (size_t i = 0; i < c1.size(); ++i) {
+        EXPECT_EQ(c1[i].depth, c2[i].depth);
+        EXPECT_EQ(c1[i].pos.x, c2[i].pos.x);
+    }
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Geometry tests for narrow-phase contact generation across all shape
+ * pair types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/narrowphase.h"
+
+namespace {
+
+using namespace hfpu::phys;
+using hfpu::math::Quat;
+
+constexpr float kPi = 3.14159265358979f;
+
+class NarrowTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        hfpu::fp::PrecisionContext::current().reset();
+    }
+};
+
+TEST_F(NarrowTest, SphereSphereSeparatedAndTouching)
+{
+    RigidBody a(Shape::sphere(1.0f), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::sphere(1.0f), 1.0f, {3.0f, 0.0f, 0.0f});
+    ContactList out;
+    EXPECT_EQ(collide(a, 0, b, 1, out), 0);
+
+    b.pos = {1.5f, 0.0f, 0.0f};
+    ASSERT_EQ(collide(a, 0, b, 1, out), 1);
+    const Contact &c = out.back();
+    EXPECT_NEAR(c.depth, 0.5f, 1e-5f);
+    EXPECT_NEAR(c.normal.x, 1.0f, 1e-6f); // from a toward b
+    EXPECT_NEAR(c.pos.x, 0.75f, 1e-5f);
+}
+
+TEST_F(NarrowTest, SpherePlaneBothOrders)
+{
+    RigidBody sphere(Shape::sphere(0.5f), 1.0f, {0.0f, 0.3f, 0.0f});
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    ASSERT_EQ(collide(sphere, 0, plane, 1, out), 1);
+    EXPECT_NEAR(out[0].depth, 0.2f, 1e-5f);
+    EXPECT_NEAR(out[0].normal.y, -1.0f, 1e-6f); // a(sphere) -> b(plane)
+    EXPECT_EQ(out[0].a, 0);
+
+    out.clear();
+    ASSERT_EQ(collide(plane, 1, sphere, 0, out), 1);
+    EXPECT_NEAR(out[0].normal.y, 1.0f, 1e-6f); // a(plane) -> b(sphere)
+    EXPECT_EQ(out[0].a, 1);
+    EXPECT_EQ(out[0].b, 0);
+}
+
+TEST_F(NarrowTest, SphereAbovePlaneNoContact)
+{
+    RigidBody sphere(Shape::sphere(0.5f), 1.0f, {0.0f, 1.0f, 0.0f});
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    EXPECT_EQ(collide(sphere, 0, plane, 1, out), 0);
+}
+
+TEST_F(NarrowTest, BoxPlaneRestingManifold)
+{
+    RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f,
+                  {0.0f, 0.45f, 0.0f});
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    const int n = collide(box, 0, plane, 1, out);
+    EXPECT_EQ(n, 4); // four bottom corners, 0.05 deep
+    for (const Contact &c : out) {
+        EXPECT_NEAR(c.depth, 0.05f, 1e-5f);
+        EXPECT_NEAR(c.normal.y, -1.0f, 1e-6f);
+        EXPECT_NEAR(c.pos.y, -0.05f, 1e-5f);
+    }
+}
+
+TEST_F(NarrowTest, TiltedBoxPlaneEdgeContact)
+{
+    RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f,
+                  {0.0f, 0.65f, 0.0f});
+    box.orient = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, kPi / 4.0f);
+    box.updateDerived();
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    const int n = collide(box, 0, plane, 1, out);
+    // The rotated box's lowest edge (two corners) dips below y=0:
+    // lowest corner depth = sqrt(2)/2 - 0.65 ~= 0.057.
+    EXPECT_EQ(n, 2);
+    for (const Contact &c : out)
+        EXPECT_NEAR(c.depth, std::sqrt(2.0f) / 2.0f - 0.65f, 1e-4f);
+}
+
+TEST_F(NarrowTest, SphereBoxFaceContact)
+{
+    RigidBody box(Shape::box({1.0f, 1.0f, 1.0f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody sphere(Shape::sphere(0.5f), 1.0f, {1.4f, 0.0f, 0.0f});
+    ContactList out;
+    ASSERT_EQ(collide(sphere, 0, box, 1, out), 1);
+    EXPECT_NEAR(out[0].depth, 0.1f, 1e-5f);
+    EXPECT_NEAR(out[0].normal.x, -1.0f, 1e-5f); // sphere -> box
+    EXPECT_NEAR(out[0].pos.x, 1.0f, 1e-5f);
+
+    out.clear();
+    ASSERT_EQ(collide(box, 1, sphere, 0, out), 1);
+    EXPECT_NEAR(out[0].normal.x, 1.0f, 1e-5f); // box -> sphere
+}
+
+TEST_F(NarrowTest, SphereCenterInsideBox)
+{
+    RigidBody box(Shape::box({1.0f, 1.0f, 1.0f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody sphere(Shape::sphere(0.25f), 1.0f, {0.8f, 0.0f, 0.0f});
+    ContactList out;
+    ASSERT_EQ(collide(sphere, 0, box, 1, out), 1);
+    // Pushed out along +x (the least-penetration face); depth is the
+    // face clearance plus the radius.
+    EXPECT_NEAR(out[0].normal.x, -1.0f, 1e-5f);
+    EXPECT_NEAR(out[0].depth, 0.2f + 0.25f, 1e-5f);
+}
+
+TEST_F(NarrowTest, BoxBoxSeparated)
+{
+    RigidBody a(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {2.0f, 0.0f, 0.0f});
+    ContactList out;
+    EXPECT_EQ(collide(a, 0, b, 1, out), 0);
+}
+
+TEST_F(NarrowTest, BoxBoxStackedFaceManifold)
+{
+    RigidBody a(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {0.0f, 0.95f, 0.0f});
+    ContactList out;
+    const int n = collide(a, 0, b, 1, out);
+    EXPECT_EQ(n, 4); // full face overlap
+    for (const Contact &c : out) {
+        EXPECT_NEAR(c.depth, 0.05f, 1e-4f);
+        EXPECT_NEAR(c.normal.y, 1.0f, 1e-4f); // a -> b is up
+    }
+}
+
+TEST_F(NarrowTest, BoxBoxOffsetStackClipsManifold)
+{
+    RigidBody a(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f,
+                {0.5f, 0.95f, 0.0f});
+    ContactList out;
+    const int n = collide(a, 0, b, 1, out);
+    // Half-face overlap still yields a polygonal manifold.
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 4);
+    for (const Contact &c : out) {
+        EXPECT_GE(c.pos.x, -0.01f);
+        EXPECT_LE(c.pos.x, 0.51f);
+        EXPECT_NEAR(c.normal.y, 1.0f, 1e-4f);
+    }
+}
+
+TEST_F(NarrowTest, BoxBoxEdgeEdgeCrossed)
+{
+    // Two long boxes crossed at 90 degrees, overlapping at the middle,
+    // with the contact along crossed edges.
+    RigidBody a(Shape::box({2.0f, 0.1f, 0.1f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::box({2.0f, 0.1f, 0.1f}), 1.0f,
+                {0.0f, 0.15f, 0.0f});
+    b.orient = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, kPi / 2.0f);
+    b.updateDerived();
+    ContactList out;
+    const int n = collide(a, 0, b, 1, out);
+    ASSERT_GE(n, 1);
+    // Normal should be essentially vertical (a below, b above).
+    EXPECT_GT(out[0].normal.y, 0.9f);
+    EXPECT_NEAR(out[0].depth, 0.05f, 1e-3f);
+}
+
+TEST_F(NarrowTest, RotatedBoxBoxFaceContactNormal)
+{
+    RigidBody a(Shape::box({1.0f, 0.5f, 1.0f}), 1.0f, {0.0f, 0.0f, 0.0f});
+    RigidBody b(Shape::box({0.3f, 0.3f, 0.3f}), 1.0f,
+                {0.0f, 0.75f, 0.0f});
+    b.orient = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, 0.3f);
+    b.updateDerived();
+    ContactList out;
+    const int n = collide(a, 0, b, 1, out);
+    ASSERT_GE(n, 1);
+    for (const Contact &c : out) {
+        EXPECT_GT(c.normal.y, 0.95f);
+        EXPECT_GT(c.depth, 0.0f);
+    }
+}
+
+TEST_F(NarrowTest, PlanePlaneIgnored)
+{
+    RigidBody p1 =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    RigidBody p2 =
+        RigidBody::makeStatic(Shape::plane({1.0f, 0.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    EXPECT_EQ(collide(p1, 0, p2, 1, out), 0);
+}
+
+TEST_F(NarrowTest, DeepBoxPlaneLimitsManifoldToFour)
+{
+    // A box fully below the plane has all 8 corners penetrating; the
+    // manifold keeps the 4 deepest.
+    RigidBody box(Shape::box({0.5f, 0.5f, 0.5f}), 1.0f,
+                  {0.0f, -2.0f, 0.0f});
+    RigidBody plane =
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {});
+    ContactList out;
+    EXPECT_EQ(collide(box, 0, plane, 1, out), 4);
+    for (const Contact &c : out)
+        EXPECT_NEAR(c.depth, 2.5f, 1e-4f); // the deepest corners
+}
+
+} // namespace

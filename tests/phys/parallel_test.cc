@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the persistent worker pool and the parallel engine mode:
+ * the pool executes every task exactly once, replicates precision
+ * settings into workers, and the threaded engine is bit-exact with
+ * the serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/parallel.h"
+#include "scen/scenario.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::phys;
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce)
+{
+    WorkerPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(1000, [&](int i) { ++hits[i]; });
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkerPool, HandlesEmptyAndSingleBatches)
+{
+    WorkerPool pool(3);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, [&](int) { ++count; });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(1, [&](int) { ++count; });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossManyBatches)
+{
+    WorkerPool pool(4);
+    std::atomic<long> sum{0};
+    for (int batch = 0; batch < 50; ++batch)
+        pool.parallelFor(64, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 50L * (64 * 63 / 2));
+}
+
+TEST(WorkerPool, SingleThreadDegradesToSerial)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    int order_errors = 0;
+    int last = -1;
+    pool.parallelFor(100, [&](int i) {
+        if (i != last + 1)
+            ++order_errors;
+        last = i;
+    });
+    EXPECT_EQ(order_errors, 0); // caller executes in order when alone
+}
+
+TEST(WorkerPool, PropagatesPrecisionContextToWorkers)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    ctx.setMantissaBits(fp::Phase::Lcp, 4);
+    ctx.setRoundingMode(fp::RoundingMode::Truncation);
+    ctx.setPhase(fp::Phase::Lcp);
+
+    WorkerPool pool(4);
+    std::vector<float> results(64, 0.0f);
+    const float a = 1.0f + 1.0f / 64.0f; // truncates away at 4 bits
+    pool.parallelFor(64, [&](int i) {
+        results[i] = fp::fmul(a, 1.0f);
+    });
+    for (float r : results)
+        EXPECT_EQ(r, 1.0f); // reduced in every worker
+    ctx.reset();
+}
+
+TEST(ParallelEngine, BitExactWithSerialAcrossScenarios)
+{
+    auto run = [&](const std::string &name, int threads) {
+        fp::PrecisionContext::current().reset();
+        scen::Scenario s = scen::makeScenario(name);
+        // Rebuild the world with the same content but threaded: the
+        // scenario factory owns construction, so patch the config by
+        // moving bodies/joints is intrusive; instead run the scenario
+        // and a fresh threaded world through the same steps using the
+        // scenario's own driver on a threaded copy.
+        (void)threads;
+        s.run(120);
+        double acc = 0.0;
+        for (const auto &b : s.world->bodies())
+            acc += b.pos.x + 3.0 * b.pos.y + 7.0 * b.pos.z;
+        return acc;
+    };
+    // Direct world-level comparison: identical scene, 1 vs 4 threads.
+    auto buildAndRun = [&](int threads) {
+        fp::PrecisionContext::current().reset();
+        auto &ctx = fp::PrecisionContext::current();
+        ctx.setMantissaBits(fp::Phase::Lcp, 8);
+        ctx.setRoundingMode(fp::RoundingMode::Jamming);
+        WorldConfig cfg;
+        cfg.threads = threads;
+        World world(cfg);
+        world.addBody(RigidBody::makeStatic(
+            Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+        for (int i = 0; i < 12; ++i) {
+            world.addBody(RigidBody(
+                Shape::box({0.3f, 0.2f, 0.3f}), 1.0f,
+                {0.8f * (i % 4) - 1.2f, 0.2f + 0.45f * (i / 4),
+                 0.3f * (i % 3)}));
+        }
+        world.spawnProjectile(Shape::sphere(0.2f), 3.0f,
+                              {-5.0f, 0.8f, 0.3f}, {12.0f, 1.0f, 0.0f});
+        for (int step = 0; step < 150; ++step)
+            world.step();
+        std::vector<float> state;
+        for (const auto &b : world.bodies()) {
+            state.push_back(b.pos.x);
+            state.push_back(b.pos.y);
+            state.push_back(b.pos.z);
+            state.push_back(b.linVel.x);
+            state.push_back(b.angVel.y);
+        }
+        fp::PrecisionContext::current().reset();
+        return state;
+    };
+    const auto serial = buildAndRun(1);
+    const auto threaded = buildAndRun(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], threaded[i]) << "component " << i;
+    // Smoke: scenario helper above still usable (silences unused warn).
+    EXPECT_EQ(run("Periodic", 1), run("Periodic", 1));
+}
+
+TEST(ParallelEngine, FallsBackToSerialWhenRecorderAttached)
+{
+    // With a recorder installed the engine must keep the ordered
+    // serial observation stream (and not crash).
+    class CountingRecorder : public fp::OpRecorder
+    {
+      public:
+        void record(const fp::OpRecord &) override { ++count; }
+        uint64_t count = 0;
+    };
+    fp::PrecisionContext::current().reset();
+    WorldConfig cfg;
+    cfg.threads = 4;
+    World world(cfg);
+    world.addBody(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    world.addBody(RigidBody(Shape::sphere(0.3f), 1.0f,
+                            {0.0f, 0.31f, 0.0f}));
+    CountingRecorder recorder;
+    fp::PrecisionContext::current().setRecorder(&recorder);
+    for (int i = 0; i < 20; ++i)
+        world.step();
+    fp::PrecisionContext::current().setRecorder(nullptr);
+    EXPECT_GT(recorder.count, 100u);
+    fp::PrecisionContext::current().reset();
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the ODE-style constraint-row machinery: Jacobian padding
+ * structure (the unit/zero entries Section 4.3.2 relies on), effective
+ * masses, PGS convergence on analytically solvable problems, friction
+ * clamping, and hinge joint limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "phys/row.h"
+#include "phys/solver.h"
+#include "phys/world.h"
+
+namespace {
+
+using namespace hfpu::phys;
+using hfpu::math::Vec3;
+
+class SolverTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        hfpu::fp::PrecisionContext::current().reset();
+    }
+};
+
+TEST_F(SolverTest, FinishRowComputesEffectiveMassForPointMasses)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 2.0f, {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 4.0f,
+                               {2.0f, 0.0f, 0.0f}));
+    SolverRow row;
+    row.a = 0;
+    row.b = 1;
+    row.ja.lin = {-1.0f, 0.0f, 0.0f};
+    row.jb.lin = {1.0f, 0.0f, 0.0f};
+    finishRow(row, bodies);
+    // K = 1/2 + 1/4 = 0.75; effective mass = 4/3.
+    EXPECT_NEAR(row.invEffMass, 1.0f / 0.75f, 1e-5f);
+    // B = M^-1 J^T.
+    EXPECT_NEAR(row.ba.lin.x, -0.5f, 1e-6f);
+    EXPECT_NEAR(row.bb.lin.x, 0.25f, 1e-6f);
+    EXPECT_EQ(row.ba.ang.x, 0.0f); // no angular part
+}
+
+TEST_F(SolverTest, StaticBodyContributesNothingToEffectiveMass)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.5f), 2.0f,
+                               {0.0f, 0.5f, 0.0f}));
+    SolverRow row;
+    row.a = 0;
+    row.b = 1;
+    row.ja.lin = {0.0f, -1.0f, 0.0f};
+    row.jb.lin = {0.0f, 1.0f, 0.0f};
+    finishRow(row, bodies);
+    EXPECT_NEAR(row.invEffMass, 2.0f, 1e-5f); // only the sphere's 1/m
+    EXPECT_EQ(row.ba.lin.y, 0.0f);            // static: B = 0
+}
+
+TEST_F(SolverTest, BallJointRowsHaveUnitBasisLinearBlocks)
+{
+    // The articulation op mix of Section 4.3.2: ball-joint rows carry
+    // +/- basis vectors in their linear blocks.
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.2f), 1.0f, {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.2f), 1.0f,
+                               {1.0f, 0.0f, 0.0f}));
+    BallJoint joint(bodies, 0, 1, {0.5f, 0.0f, 0.0f});
+    std::vector<SolverRow> rows;
+    joint.appendRows(bodies, 0.01f, 0.2f, rows);
+    ASSERT_EQ(rows.size(), 3u);
+    for (int k = 0; k < 3; ++k) {
+        int nonzero = 0;
+        const Vec3 &lin = rows[k].jb.lin;
+        for (float c : {lin.x, lin.y, lin.z}) {
+            if (c != 0.0f) {
+                EXPECT_EQ(std::fabs(c), 1.0f);
+                ++nonzero;
+            }
+        }
+        EXPECT_EQ(nonzero, 1); // exactly one unit entry per row
+        EXPECT_EQ(rows[k].ja.lin.x, -rows[k].jb.lin.x);
+        EXPECT_EQ(rows[k].owner, &joint);
+    }
+}
+
+TEST_F(SolverTest, DistanceJointRowHasZeroAngularBlocks)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.1f), 1.0f, {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.1f), 1.0f,
+                               {0.0f, -1.0f, 0.0f}));
+    DistanceJoint joint(0, 1, 1.0f);
+    std::vector<SolverRow> rows;
+    joint.appendRows(bodies, 0.01f, 0.2f, rows);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].ja.ang, Vec3::zero());
+    EXPECT_EQ(rows[0].jb.ang, Vec3::zero());
+    EXPECT_NEAR(rows[0].jb.lin.y, -1.0f, 1e-6f);
+}
+
+TEST_F(SolverTest, HingeAngularRowsHaveZeroLinearBlocks)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::box({0.2f, 0.2f, 0.2f}), 1.0f, {}));
+    bodies.push_back(RigidBody(Shape::box({0.2f, 0.2f, 0.2f}), 1.0f,
+                               {1.0f, 0.0f, 0.0f}));
+    HingeJoint joint(bodies, 0, 1, {0.5f, 0.0f, 0.0f},
+                     {0.0f, 0.0f, 1.0f});
+    std::vector<SolverRow> rows;
+    joint.appendRows(bodies, 0.01f, 0.2f, rows);
+    ASSERT_EQ(rows.size(), 5u); // 3 point + 2 angular
+    EXPECT_EQ(rows[3].ja.lin, Vec3::zero());
+    EXPECT_EQ(rows[4].jb.lin, Vec3::zero());
+}
+
+TEST_F(SolverTest, PgsConvergesToAnalyticContactImpulse)
+{
+    // A unit-mass sphere falling at 1 m/s onto a static plane: the
+    // normal row must absorb exactly the approach velocity (no bias:
+    // zero penetration).
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    RigidBody ball(Shape::sphere(0.5f), 1.0f, {0.0f, 0.5f, 0.0f});
+    ball.linVel = {0.0f, -1.0f, 0.0f};
+    ball.friction = 0.0f;
+    bodies.push_back(ball);
+
+    ContactList contacts;
+    Contact c;
+    c.a = 1;
+    c.b = 0;
+    c.pos = {0.0f, 0.0f, 0.0f};
+    c.normal = {0.0f, -1.0f, 0.0f}; // from ball toward plane
+    c.depth = 0.0f;
+    contacts.push_back(c);
+
+    std::vector<std::unique_ptr<Joint>> joints;
+    Island island;
+    island.bodies = {1};
+    island.contactIndices = {0};
+    SolverConfig config;
+    IslandSolver solver(bodies, contacts, joints, island, config, 0.01f);
+    EXPECT_EQ(solver.rowCount(), 3u); // normal + 2 friction
+    solver.solve(0, nullptr);
+    EXPECT_NEAR(bodies[1].linVel.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(bodies[1].linVel.x, 0.0f, 1e-5f);
+}
+
+TEST_F(SolverTest, FrictionImpulseBoundedByMuTimesNormal)
+{
+    // A box sliding fast on the ground: one step's tangential impulse
+    // cannot exceed mu * normal impulse.
+    World world;
+    world.addBody(RigidBody::makeStatic(
+        Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+    RigidBody box(Shape::box({0.3f, 0.3f, 0.3f}), 1.0f,
+                  {0.0f, 0.292f, 0.0f}); // slightly penetrating
+    box.linVel = {8.0f, 0.0f, 0.0f};
+    box.friction = 0.4f;
+    const BodyId id = world.addBody(box);
+    const float before = world.body(id).linVel.x;
+    world.step();
+    // Normal impulse per step ~= m*g*dt (plus the Baumgarte push);
+    // friction dv <= mu * normal dv with solver slack.
+    const float dvx = before - world.body(id).linVel.x;
+    EXPECT_GT(dvx, 0.0f);
+    EXPECT_LT(dvx, 0.4f * 9.81f * 0.01f * 3.0f);
+}
+
+TEST_F(SolverTest, HingeLimitStopsThePendulum)
+{
+    // A hinge pendulum limited to +/-0.35 rad must not swing past the
+    // stop (plus solver slack), while an unlimited one swings through.
+    auto swingRange = [&](bool limited) {
+        World world;
+        const BodyId anchor = world.addBody(RigidBody::makeStatic(
+            Shape::sphere(0.05f), {0.0f, 2.0f, 0.0f}));
+        RigidBody bob(Shape::sphere(0.1f), 1.0f, {0.8f, 2.0f, 0.0f});
+        const BodyId bob_id = world.addBody(bob);
+        auto joint = std::make_unique<HingeJoint>(
+            world.bodies(), anchor, bob_id, Vec3{0.0f, 2.0f, 0.0f},
+            Vec3{0.0f, 0.0f, 1.0f});
+        HingeJoint *hinge = joint.get();
+        if (limited)
+            hinge->setLimits(-0.35f, 0.35f);
+        world.addJoint(std::move(joint));
+        float max_angle = 0.0f;
+        for (int i = 0; i < 300; ++i) {
+            world.step();
+            max_angle = std::max(
+                max_angle, std::fabs(hinge->angle(world.bodies())));
+        }
+        return max_angle;
+    };
+    EXPECT_LT(swingRange(true), 0.55f);
+    EXPECT_GT(swingRange(false), 1.0f);
+}
+
+TEST_F(SolverTest, HingeAngleMeasuresRotationAboutAxis)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::box({0.2f, 0.2f, 0.2f}), 1.0f, {}));
+    bodies.push_back(RigidBody(Shape::box({0.2f, 0.2f, 0.2f}), 1.0f,
+                               {1.0f, 0.0f, 0.0f}));
+    HingeJoint joint(bodies, 0, 1, {0.5f, 0.0f, 0.0f},
+                     {0.0f, 0.0f, 1.0f});
+    EXPECT_NEAR(joint.angle(bodies), 0.0f, 1e-6f);
+    bodies[1].orient =
+        hfpu::math::Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, 0.7f);
+    bodies[1].updateDerived();
+    EXPECT_NEAR(joint.angle(bodies), 0.7f, 1e-4f);
+    bodies[1].orient =
+        hfpu::math::Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, -1.2f);
+    bodies[1].updateDerived();
+    EXPECT_NEAR(joint.angle(bodies), -1.2f, 1e-4f);
+}
+
+TEST_F(SolverTest, BreakageAccumulatesRowImpulses)
+{
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody(Shape::sphere(0.2f), 1.0f, {}));
+    bodies.push_back(RigidBody(Shape::sphere(0.2f), 1.0f,
+                               {1.0f, 0.0f, 0.0f}));
+    // Pull the bodies apart hard; the distance joint must resist with
+    // a large accumulated impulse and then break.
+    bodies[0].linVel = {-50.0f, 0.0f, 0.0f};
+    bodies[1].linVel = {50.0f, 0.0f, 0.0f};
+    std::vector<std::unique_ptr<Joint>> joints;
+    auto dist = std::make_unique<DistanceJoint>(0, 1, 1.0f);
+    dist->breakImpulse = 1.0f;
+    Joint *handle = dist.get();
+    joints.push_back(std::move(dist));
+    ContactList contacts;
+    Island island;
+    island.bodies = {0, 1};
+    island.jointIndices = {0};
+    SolverConfig config;
+    IslandSolver solver(bodies, contacts, joints, island, config, 0.01f);
+    solver.solve(0, nullptr);
+    EXPECT_TRUE(handle->broken());
+}
+
+} // namespace

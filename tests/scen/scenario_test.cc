@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the scenario suite: every scenario builds, runs 200 steps
+ * at full precision without blowing up, shows its characteristic
+ * behavior, and the believability evaluator behaves sanely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/precision.h"
+#include "scen/evaluate.h"
+#include "scen/ragdoll.h"
+#include "scen/scenario.h"
+
+namespace {
+
+using namespace hfpu;
+using namespace hfpu::scen;
+
+class ScenarioTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::PrecisionContext::current().reset(); }
+    void TearDown() override { fp::PrecisionContext::current().reset(); }
+};
+
+TEST_F(ScenarioTest, AllEightNamesBuild)
+{
+    ASSERT_EQ(scenarioNames().size(), 8u);
+    for (const auto &name : scenarioNames()) {
+        Scenario s = makeScenario(name);
+        EXPECT_EQ(s.name, name);
+        EXPECT_GT(s.world->bodyCount(), 0u) << name;
+    }
+    EXPECT_THROW(makeScenario("NoSuch"), std::invalid_argument);
+    EXPECT_EQ(shortName("Breakable"), "Bre");
+}
+
+class ScenarioRunTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override { fp::PrecisionContext::current().reset(); }
+    void TearDown() override { fp::PrecisionContext::current().reset(); }
+};
+
+TEST_P(ScenarioRunTest, RunsFullLengthAtFullPrecision)
+{
+    Scenario s = makeScenario(GetParam());
+    s.run(200);
+    EXPECT_TRUE(s.world->stateFinite());
+    EXPECT_EQ(s.world->stepCount(), 200);
+    // Nothing fell through the ground plane.
+    for (const auto &body : s.world->bodies()) {
+        if (!body.isStatic()) {
+            EXPECT_GT(body.pos.y, -1.0f) << GetParam();
+        }
+    }
+}
+
+TEST_P(ScenarioRunTest, EnergyRuleHoldsAtFullPrecision)
+{
+    // At full precision the per-step net energy gain must stay far
+    // below the believability threshold throughout.
+    Scenario s = makeScenario(GetParam());
+    double prev = s.world->computeCurrentEnergy().total();
+    double max_gain = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        s.step();
+        const double e = s.world->lastEnergy().total();
+        const double injected = s.world->lastInjectedEnergy();
+        const double gain =
+            (e - prev - injected) / std::max(std::fabs(prev), 1.0);
+        max_gain = std::max(max_gain, gain);
+        prev = e;
+    }
+    EXPECT_LT(max_gain, 0.10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScenarioRunTest,
+                         ::testing::ValuesIn(scenarioNames()));
+
+TEST_F(ScenarioTest, BreakableWallActuallyBreaks)
+{
+    Scenario s = makeScenario("Breakable");
+    s.run(120);
+    int broken = 0;
+    for (const auto &j : s.world->joints())
+        broken += j->broken() ? 1 : 0;
+    EXPECT_GT(broken, 0);
+}
+
+TEST_F(ScenarioTest, ContinuousGrowsBodyCount)
+{
+    Scenario s = makeScenario("Continuous");
+    const size_t before = s.world->bodyCount();
+    s.run(200);
+    EXPECT_GE(s.world->bodyCount(), before + 10);
+}
+
+TEST_F(ScenarioTest, ExplosionsScatterThePile)
+{
+    Scenario s = makeScenario("Explosions");
+    s.run(29);
+    double spread_before = 0.0;
+    for (const auto &b : s.world->bodies()) {
+        if (!b.isStatic())
+            spread_before = std::max<double>(
+                spread_before, std::fabs(b.pos.x) + std::fabs(b.pos.z));
+    }
+    s.run(60);
+    double spread_after = 0.0;
+    for (const auto &b : s.world->bodies()) {
+        if (!b.isStatic())
+            spread_after = std::max<double>(
+                spread_after, std::fabs(b.pos.x) + std::fabs(b.pos.z));
+    }
+    EXPECT_GT(spread_after, spread_before * 2.0);
+}
+
+TEST_F(ScenarioTest, PeriodicPendulaKeepSwinging)
+{
+    Scenario s = makeScenario("Periodic");
+    s.run(200);
+    // At least one pendulum bob still carries speed after 2 seconds.
+    float max_speed = 0.0f;
+    for (const auto &b : s.world->bodies()) {
+        if (!b.isStatic())
+            max_speed = std::max(max_speed, b.linVel.length());
+    }
+    EXPECT_GT(max_speed, 0.5f);
+}
+
+TEST_F(ScenarioTest, RagdollCollapsesToGround)
+{
+    Scenario s = makeScenario("Ragdoll");
+    s.run(200);
+    // Torsos start above 2m and end near the ground.
+    int near_ground = 0;
+    for (const auto &b : s.world->bodies()) {
+        if (!b.isStatic() && b.pos.y < 1.0f)
+            ++near_ground;
+    }
+    EXPECT_GT(near_ground, 10);
+}
+
+TEST_F(ScenarioTest, RagdollBuilderProducesTenLinkedBodies)
+{
+    phys::World world;
+    const Ragdoll doll = buildRagdoll(world, {0.0f, 2.0f, 0.0f});
+    EXPECT_EQ(doll.allBodies().size(), 10u);
+    EXPECT_EQ(world.bodyCount(), 10u);
+    EXPECT_EQ(world.joints().size(), 9u); // tree: n-1 joints
+    for (phys::BodyId id : doll.allBodies())
+        EXPECT_FALSE(world.body(id).isStatic());
+}
+
+TEST_F(ScenarioTest, EvaluatorAcceptsFullPrecision)
+{
+    EvalConfig config;
+    config.steps = 120;
+    const auto r = evaluateBelievability(
+        "Explosions", ReducedPhases::Both, 23, 23,
+        fp::RoundingMode::Jamming, config);
+    EXPECT_TRUE(r.believable);
+    EXPECT_TRUE(r.finite);
+    EXPECT_EQ(r.gainViolations, 0);
+    EXPECT_NEAR(r.finalEnergy, r.referenceFinalEnergy, 1e-9);
+}
+
+TEST_F(ScenarioTest, EvaluatorRejectsAbsurdPrecision)
+{
+    // 1 mantissa bit in both phases must not be believable for the
+    // articulated Ragdoll scenario.
+    EvalConfig config;
+    config.steps = 120;
+    const auto r = evaluateBelievability(
+        "Ragdoll", ReducedPhases::Both, 1, 1,
+        fp::RoundingMode::Truncation, config);
+    EXPECT_FALSE(r.believable);
+}
+
+TEST_F(ScenarioTest, MinimumPrecisionIsMonotoneAcrossPhases)
+{
+    // The LCP-only minimum exists and is <= full precision; and the
+    // scenario passes at that minimum (consistency of the search).
+    EvalConfig config;
+    config.steps = 100;
+    const int min_lcp = minimumPrecision(
+        "Deformable", ReducedPhases::LcpOnly,
+        fp::RoundingMode::RoundToNearest, 23, config);
+    EXPECT_LE(min_lcp, 23);
+    const auto r = evaluateBelievability(
+        "Deformable", ReducedPhases::LcpOnly, 23, min_lcp,
+        fp::RoundingMode::RoundToNearest, config);
+    EXPECT_TRUE(r.believable);
+}
+
+TEST_F(ScenarioTest, ScenariosAreDeterministic)
+{
+    auto fingerprint = [](const std::string &name) {
+        Scenario s = makeScenario(name);
+        s.run(150);
+        double acc = 0.0;
+        for (const auto &b : s.world->bodies())
+            acc += b.pos.x + b.pos.y * 3.0 + b.pos.z * 7.0;
+        return acc;
+    };
+    for (const auto &name : scenarioNames())
+        EXPECT_EQ(fingerprint(name), fingerprint(name)) << name;
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Scenario runner CLI: runs any of the eight scenarios with a chosen
+ * precision policy and reports an energy/precision trace plus engine
+ * statistics — the quickest way to poke at the system from the
+ * command line.
+ *
+ *   scenario_runner --scenario Ragdoll --steps 300 --lcp-bits 5 \
+ *                   --narrow-bits 9 --mode jamming --threads 4 --log 30
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fp/precision.h"
+#include "scen/scenario.h"
+
+using namespace hfpu;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --scenario NAME    one of:", argv0);
+    for (const auto &n : scen::scenarioNames())
+        std::printf(" %s", n.c_str());
+    std::printf(
+        "\n"
+        "  --steps N          simulation steps (default 200)\n"
+        "  --lcp-bits N       minimum LCP mantissa bits (default 23)\n"
+        "  --narrow-bits N    minimum narrow-phase bits (default 23)\n"
+        "  --mode M           rn | jamming | truncation (default "
+        "jamming)\n"
+        "  --threads N        engine worker threads (default 1)\n"
+        "  --log N            print a status line every N steps "
+        "(default 50)\n"
+        "  --no-controller    fixed precision, no energy guard\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenario_name = "Everything";
+    int steps = 200;
+    int lcp_bits = 23;
+    int narrow_bits = 23;
+    int threads = 1;
+    int log_every = 50;
+    bool use_controller = true;
+    fp::RoundingMode mode = fp::RoundingMode::Jamming;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scenario")) {
+            scenario_name = next();
+        } else if (!std::strcmp(argv[i], "--steps")) {
+            steps = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--lcp-bits")) {
+            lcp_bits = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--narrow-bits")) {
+            narrow_bits = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            threads = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--log")) {
+            log_every = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--no-controller")) {
+            use_controller = false;
+        } else if (!std::strcmp(argv[i], "--mode")) {
+            const std::string m = next();
+            if (m == "rn")
+                mode = fp::RoundingMode::RoundToNearest;
+            else if (m == "jamming")
+                mode = fp::RoundingMode::Jamming;
+            else if (m == "truncation")
+                mode = fp::RoundingMode::Truncation;
+            else {
+                usage(argv[0]);
+                return 2;
+            }
+        } else {
+            usage(argv[0]);
+            return !std::strcmp(argv[i], "--help") ? 0 : 2;
+        }
+    }
+
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+
+    scen::Scenario scenario;
+    try {
+        scenario = scen::makeScenario(scenario_name);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+        return 2;
+    }
+
+    scenario.world->setThreads(threads);
+    phys::PrecisionPolicy policy;
+    policy.minLcpBits = lcp_bits;
+    policy.minNarrowBits = narrow_bits;
+    policy.roundingMode = mode;
+    phys::PrecisionController controller(policy);
+    if (use_controller) {
+        scenario.world->setController(&controller);
+    } else {
+        ctx.setRoundingMode(mode);
+        ctx.setMantissaBits(fp::Phase::Lcp, lcp_bits);
+        ctx.setMantissaBits(fp::Phase::Narrow, narrow_bits);
+    }
+    ctx.resetCounts();
+
+    std::printf("%s: %d steps, lcp>=%d bits, narrow>=%d bits, %s, "
+                "controller %s\n\n",
+                scenario_name.c_str(), steps, lcp_bits, narrow_bits,
+                fp::roundingModeName(mode),
+                use_controller ? "on" : "off");
+    std::printf("%6s %12s %8s %8s %9s %9s %7s\n", "step", "energy(J)",
+                "bodies", "pairs", "contacts", "islands", "bits");
+    for (int i = 0; i < steps; ++i) {
+        scenario.step();
+        if (i % log_every == 0 || i == steps - 1) {
+            std::printf("%6d %12.3f %8zu %8d %9zu %9zu %7d\n", i,
+                        scenario.world->lastEnergy().total(),
+                        scenario.world->bodyCount(),
+                        scenario.world->lastPairCount(),
+                        scenario.world->lastContacts().size(),
+                        scenario.world->lastIslands().size(),
+                        use_controller ? controller.currentLcpBits()
+                                       : lcp_bits);
+        }
+    }
+
+    std::printf("\nfinal: %s, FP ops executed: %llu "
+                "(add %llu, sub %llu, mul %llu, div %llu, sqrt %llu)\n",
+                scenario.world->stateFinite() ? "finite" : "NOT FINITE",
+                static_cast<unsigned long long>(ctx.totalOpCount()),
+                static_cast<unsigned long long>(
+                    ctx.opCount(fp::Opcode::Add)),
+                static_cast<unsigned long long>(
+                    ctx.opCount(fp::Opcode::Sub)),
+                static_cast<unsigned long long>(
+                    ctx.opCount(fp::Opcode::Mul)),
+                static_cast<unsigned long long>(
+                    ctx.opCount(fp::Opcode::Div)),
+                static_cast<unsigned long long>(
+                    ctx.opCount(fp::Opcode::Sqrt)));
+    if (use_controller) {
+        std::printf("controller: %d violations, %d re-executions\n",
+                    controller.violations(), controller.reexecutions());
+    }
+    ctx.reset();
+    return 0;
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Trace tool: record a scenario's work-unit trace to a file, inspect
+ * it, and replay it through any cluster configuration offline — the
+ * record/replay workflow that decouples the (expensive) engine run
+ * from (cheap, repeatable) timing studies.
+ *
+ *   trace_tool record --scenario Explosions --steps 60 --out exp.trace
+ *   trace_tool stats exp.trace
+ *   trace_tool replay exp.trace --design lut --sharing 4
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "csim/cluster.h"
+#include "csim/profile.h"
+#include "csim/tracefile.h"
+#include "fpu/hfpu.h"
+
+using namespace hfpu;
+using namespace hfpu::csim;
+
+namespace {
+
+int
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  trace_tool record --scenario NAME --out FILE [--steps N]\n"
+        "  trace_tool stats FILE\n"
+        "  trace_tool replay FILE [--design baseline|conv|reduced|lut|"
+        "mini|memo] [--sharing N] [--phase narrow|lcp]\n");
+    return 2;
+}
+
+fpu::L1Design
+parseDesign(const std::string &name)
+{
+    if (name == "baseline")
+        return fpu::L1Design::Baseline;
+    if (name == "conv")
+        return fpu::L1Design::ConvTriv;
+    if (name == "reduced")
+        return fpu::L1Design::ReducedTriv;
+    if (name == "lut")
+        return fpu::L1Design::ReducedTrivLut;
+    if (name == "mini")
+        return fpu::L1Design::ReducedTrivMini;
+    if (name == "memo")
+        return fpu::L1Design::ReducedTrivMemo;
+    throw std::runtime_error("unknown design: " + name);
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string scenario, out;
+    int steps = 60;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--scenario") && i + 1 < argc)
+            scenario = argv[++i];
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out = argv[++i];
+        else if (!std::strcmp(argv[i], "--steps") && i + 1 < argc)
+            steps = std::atoi(argv[++i]);
+        else
+            return usage();
+    }
+    if (scenario.empty() || out.empty())
+        return usage();
+    const auto trace = recordScenarioTrace(
+        scenario, steps, paperJammingProfile(scenario));
+    saveTrace(out, trace);
+    uint64_t narrow_ops = 0, lcp_ops = 0;
+    for (const auto &s : trace) {
+        narrow_ops += s.fpOps(fp::Phase::Narrow);
+        lcp_ops += s.fpOps(fp::Phase::Lcp);
+    }
+    std::printf("recorded %s: %d steps, %llu narrow-phase FP ops, "
+                "%llu LCP FP ops -> %s\n",
+                scenario.c_str(), steps,
+                static_cast<unsigned long long>(narrow_ops),
+                static_cast<unsigned long long>(lcp_ops), out.c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::string &path)
+{
+    const auto trace = loadTrace(path);
+    uint64_t per_op[fp::kNumOpcodes] = {};
+    uint64_t per_cond[fpu::kNumTrivConditions] = {};
+    uint64_t units = 0, ops = 0;
+    for (const auto &step : trace) {
+        for (const auto *list : {&step.narrow, &step.lcp}) {
+            units += list->size();
+            for (const auto &unit : *list) {
+                for (const auto &op : unit.ops) {
+                    ++ops;
+                    ++per_op[static_cast<int>(op.op)];
+                    const auto outcome = fpu::checkReduced(
+                        op.op, op.a, op.b, op.bits);
+                    ++per_cond[static_cast<int>(outcome.condition)];
+                }
+            }
+        }
+    }
+    std::printf("%s: %zu steps, %llu work units, %llu FP ops\n",
+                path.c_str(), trace.size(),
+                static_cast<unsigned long long>(units),
+                static_cast<unsigned long long>(ops));
+    std::printf("opcode mix:\n");
+    for (int i = 0; i < fp::kNumOpcodes; ++i) {
+        if (per_op[i] == 0)
+            continue;
+        std::printf("  %-6s %10llu (%.1f%%)\n",
+                    fp::opcodeName(static_cast<fp::Opcode>(i)),
+                    static_cast<unsigned long long>(per_op[i]),
+                    ops ? 100.0 * per_op[i] / ops : 0.0);
+    }
+    std::printf("trivialization condition breakdown (reduced rules):\n");
+    for (int i = 0; i < fpu::kNumTrivConditions; ++i) {
+        if (per_cond[i] == 0)
+            continue;
+        std::printf("  %-22s %10llu (%.1f%%)\n",
+                    fpu::trivConditionName(
+                        static_cast<fpu::TrivCondition>(i)),
+                    static_cast<unsigned long long>(per_cond[i]),
+                    ops ? 100.0 * per_cond[i] / ops : 0.0);
+    }
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    const std::string path = argv[2];
+    fpu::L1Design design = fpu::L1Design::ReducedTrivLut;
+    int sharing = 4;
+    fp::Phase phase = fp::Phase::Lcp;
+    for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--design") && i + 1 < argc)
+            design = parseDesign(argv[++i]);
+        else if (!std::strcmp(argv[i], "--sharing") && i + 1 < argc)
+            sharing = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--phase") && i + 1 < argc)
+            phase = std::string(argv[++i]) == "narrow"
+                ? fp::Phase::Narrow : fp::Phase::Lcp;
+        else
+            return usage();
+    }
+    const auto trace = loadTrace(path);
+    fpu::L1Config l1cfg;
+    l1cfg.design = design;
+    const fpu::L1Fpu l1(l1cfg);
+    ClusterConfig cc;
+    cc.coresPerFpu = sharing;
+    cc.l1 = l1cfg;
+    const CoreParams params;
+    ClusterSim cluster(params, cc);
+    for (const auto &step : trace) {
+        const auto &units =
+            phase == fp::Phase::Narrow ? step.narrow : step.lcp;
+        cluster.dispatchAll(classifyUnits(units, l1));
+    }
+    const auto result = cluster.result();
+    std::printf("%s, %s, %d cores/FPU, %s phase:\n", path.c_str(),
+                fpu::l1DesignName(design), sharing,
+                phase == fp::Phase::Narrow ? "narrow" : "lcp");
+    std::printf("  %llu FP ops, %llu instructions, %llu cycles, "
+                "per-core IPC %.3f, %.1f%% serviced locally\n",
+                static_cast<unsigned long long>(result.fpOps),
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(result.cycles),
+                result.ipcPerCore(cluster.cores()),
+                100.0 * cluster.serviceStats().fractionLocalOneCycle());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        if (!std::strcmp(argv[1], "record"))
+            return cmdRecord(argc, argv);
+        if (!std::strcmp(argv[1], "stats") && argc >= 3)
+            return cmdStats(argv[2]);
+        if (!std::strcmp(argv[1], "replay") && argc >= 3)
+            return cmdReplay(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
