@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_hfpu_perf.dir/figure5_hfpu_perf.cc.o"
+  "CMakeFiles/figure5_hfpu_perf.dir/figure5_hfpu_perf.cc.o.d"
+  "figure5_hfpu_perf"
+  "figure5_hfpu_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_hfpu_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure5_hfpu_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_cores_energy.dir/figure6_cores_energy.cc.o"
+  "CMakeFiles/figure6_cores_energy.dir/figure6_cores_energy.cc.o.d"
+  "figure6_cores_energy"
+  "figure6_cores_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_cores_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_minifpu.dir/figure7_minifpu.cc.o"
+  "CMakeFiles/figure7_minifpu.dir/figure7_minifpu.cc.o.d"
+  "figure7_minifpu"
+  "figure7_minifpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_minifpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

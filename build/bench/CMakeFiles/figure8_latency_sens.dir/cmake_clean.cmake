@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_latency_sens.dir/figure8_latency_sens.cc.o"
+  "CMakeFiles/figure8_latency_sens.dir/figure8_latency_sens.cc.o.d"
+  "figure8_latency_sens"
+  "figure8_latency_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_latency_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

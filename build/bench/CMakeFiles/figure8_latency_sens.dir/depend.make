@@ -1,0 +1,2 @@
+# Empty dependencies file for figure8_latency_sens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fps_projection.dir/fps_projection.cc.o"
+  "CMakeFiles/fps_projection.dir/fps_projection.cc.o.d"
+  "fps_projection"
+  "fps_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fps_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_min_precision.dir/table1_min_precision.cc.o"
+  "CMakeFiles/table1_min_precision.dir/table1_min_precision.cc.o.d"
+  "table1_min_precision"
+  "table1_min_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_min_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_min_precision.
+# This may be replaced when dependencies are built.

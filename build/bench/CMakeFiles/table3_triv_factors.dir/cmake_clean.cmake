@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_triv_factors.dir/table3_triv_factors.cc.o"
+  "CMakeFiles/table3_triv_factors.dir/table3_triv_factors.cc.o.d"
+  "table3_triv_factors"
+  "table3_triv_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_triv_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_triv_memo.dir/table4_triv_memo.cc.o"
+  "CMakeFiles/table4_triv_memo.dir/table4_triv_memo.cc.o.d"
+  "table4_triv_memo"
+  "table4_triv_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_triv_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_triv_memo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_tables.cc" "bench/CMakeFiles/table5_tables.dir/table5_tables.cc.o" "gcc" "bench/CMakeFiles/table5_tables.dir/table5_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csim/CMakeFiles/hfpu_csim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scen/CMakeFiles/hfpu_scen.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/hfpu_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpu/CMakeFiles/hfpu_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hfpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hfpu_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/hfpu_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_tables.dir/table5_tables.cc.o"
+  "CMakeFiles/table5_tables.dir/table5_tables.cc.o.d"
+  "table5_tables"
+  "table5_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

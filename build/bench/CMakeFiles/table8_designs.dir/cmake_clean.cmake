@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_designs.dir/table8_designs.cc.o"
+  "CMakeFiles/table8_designs.dir/table8_designs.cc.o.d"
+  "table8_designs"
+  "table8_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloth_energy.dir/cloth_energy.cpp.o"
+  "CMakeFiles/cloth_energy.dir/cloth_energy.cpp.o.d"
+  "cloth_energy"
+  "cloth_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloth_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

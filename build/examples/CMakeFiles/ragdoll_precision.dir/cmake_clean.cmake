@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ragdoll_precision.dir/ragdoll_precision.cpp.o"
+  "CMakeFiles/ragdoll_precision.dir/ragdoll_precision.cpp.o.d"
+  "ragdoll_precision"
+  "ragdoll_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ragdoll_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wall_demolition.dir/wall_demolition.cpp.o"
+  "CMakeFiles/wall_demolition.dir/wall_demolition.cpp.o.d"
+  "wall_demolition"
+  "wall_demolition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wall_demolition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

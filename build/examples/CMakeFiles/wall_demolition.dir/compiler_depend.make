@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wall_demolition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wall_demolition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_csim.dir/cluster.cc.o"
+  "CMakeFiles/hfpu_csim.dir/cluster.cc.o.d"
+  "CMakeFiles/hfpu_csim.dir/experiment.cc.o"
+  "CMakeFiles/hfpu_csim.dir/experiment.cc.o.d"
+  "CMakeFiles/hfpu_csim.dir/profile.cc.o"
+  "CMakeFiles/hfpu_csim.dir/profile.cc.o.d"
+  "CMakeFiles/hfpu_csim.dir/tracefile.cc.o"
+  "CMakeFiles/hfpu_csim.dir/tracefile.cc.o.d"
+  "libhfpu_csim.a"
+  "libhfpu_csim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_csim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

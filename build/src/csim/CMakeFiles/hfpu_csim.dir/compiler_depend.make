@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hfpu_csim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp/precision.cc" "src/fp/CMakeFiles/hfpu_fp.dir/precision.cc.o" "gcc" "src/fp/CMakeFiles/hfpu_fp.dir/precision.cc.o.d"
+  "/root/repo/src/fp/rounding.cc" "src/fp/CMakeFiles/hfpu_fp.dir/rounding.cc.o" "gcc" "src/fp/CMakeFiles/hfpu_fp.dir/rounding.cc.o.d"
+  "/root/repo/src/fp/softfloat.cc" "src/fp/CMakeFiles/hfpu_fp.dir/softfloat.cc.o" "gcc" "src/fp/CMakeFiles/hfpu_fp.dir/softfloat.cc.o.d"
+  "/root/repo/src/fp/types.cc" "src/fp/CMakeFiles/hfpu_fp.dir/types.cc.o" "gcc" "src/fp/CMakeFiles/hfpu_fp.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

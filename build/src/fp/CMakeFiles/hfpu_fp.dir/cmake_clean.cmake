@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_fp.dir/precision.cc.o"
+  "CMakeFiles/hfpu_fp.dir/precision.cc.o.d"
+  "CMakeFiles/hfpu_fp.dir/rounding.cc.o"
+  "CMakeFiles/hfpu_fp.dir/rounding.cc.o.d"
+  "CMakeFiles/hfpu_fp.dir/softfloat.cc.o"
+  "CMakeFiles/hfpu_fp.dir/softfloat.cc.o.d"
+  "CMakeFiles/hfpu_fp.dir/types.cc.o"
+  "CMakeFiles/hfpu_fp.dir/types.cc.o.d"
+  "libhfpu_fp.a"
+  "libhfpu_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpu/hfpu.cc" "src/fpu/CMakeFiles/hfpu_fpu.dir/hfpu.cc.o" "gcc" "src/fpu/CMakeFiles/hfpu_fpu.dir/hfpu.cc.o.d"
+  "/root/repo/src/fpu/lut.cc" "src/fpu/CMakeFiles/hfpu_fpu.dir/lut.cc.o" "gcc" "src/fpu/CMakeFiles/hfpu_fpu.dir/lut.cc.o.d"
+  "/root/repo/src/fpu/memo.cc" "src/fpu/CMakeFiles/hfpu_fpu.dir/memo.cc.o" "gcc" "src/fpu/CMakeFiles/hfpu_fpu.dir/memo.cc.o.d"
+  "/root/repo/src/fpu/trivial.cc" "src/fpu/CMakeFiles/hfpu_fpu.dir/trivial.cc.o" "gcc" "src/fpu/CMakeFiles/hfpu_fpu.dir/trivial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fp/CMakeFiles/hfpu_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

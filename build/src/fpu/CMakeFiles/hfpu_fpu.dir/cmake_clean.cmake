@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_fpu.dir/hfpu.cc.o"
+  "CMakeFiles/hfpu_fpu.dir/hfpu.cc.o.d"
+  "CMakeFiles/hfpu_fpu.dir/lut.cc.o"
+  "CMakeFiles/hfpu_fpu.dir/lut.cc.o.d"
+  "CMakeFiles/hfpu_fpu.dir/memo.cc.o"
+  "CMakeFiles/hfpu_fpu.dir/memo.cc.o.d"
+  "CMakeFiles/hfpu_fpu.dir/trivial.cc.o"
+  "CMakeFiles/hfpu_fpu.dir/trivial.cc.o.d"
+  "libhfpu_fpu.a"
+  "libhfpu_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

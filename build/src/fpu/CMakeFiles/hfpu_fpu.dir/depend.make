@@ -1,0 +1,2 @@
+# Empty dependencies file for hfpu_fpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_math.dir/math.cc.o"
+  "CMakeFiles/hfpu_math.dir/math.cc.o.d"
+  "libhfpu_math.a"
+  "libhfpu_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_model.dir/area.cc.o"
+  "CMakeFiles/hfpu_model.dir/area.cc.o.d"
+  "CMakeFiles/hfpu_model.dir/energy.cc.o"
+  "CMakeFiles/hfpu_model.dir/energy.cc.o.d"
+  "CMakeFiles/hfpu_model.dir/tables.cc.o"
+  "CMakeFiles/hfpu_model.dir/tables.cc.o.d"
+  "libhfpu_model.a"
+  "libhfpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/body.cc" "src/phys/CMakeFiles/hfpu_phys.dir/body.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/body.cc.o.d"
+  "/root/repo/src/phys/broadphase.cc" "src/phys/CMakeFiles/hfpu_phys.dir/broadphase.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/broadphase.cc.o.d"
+  "/root/repo/src/phys/cloth.cc" "src/phys/CMakeFiles/hfpu_phys.dir/cloth.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/cloth.cc.o.d"
+  "/root/repo/src/phys/controller.cc" "src/phys/CMakeFiles/hfpu_phys.dir/controller.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/controller.cc.o.d"
+  "/root/repo/src/phys/energy.cc" "src/phys/CMakeFiles/hfpu_phys.dir/energy.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/energy.cc.o.d"
+  "/root/repo/src/phys/island.cc" "src/phys/CMakeFiles/hfpu_phys.dir/island.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/island.cc.o.d"
+  "/root/repo/src/phys/joint.cc" "src/phys/CMakeFiles/hfpu_phys.dir/joint.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/joint.cc.o.d"
+  "/root/repo/src/phys/narrowphase.cc" "src/phys/CMakeFiles/hfpu_phys.dir/narrowphase.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/narrowphase.cc.o.d"
+  "/root/repo/src/phys/parallel.cc" "src/phys/CMakeFiles/hfpu_phys.dir/parallel.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/parallel.cc.o.d"
+  "/root/repo/src/phys/row.cc" "src/phys/CMakeFiles/hfpu_phys.dir/row.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/row.cc.o.d"
+  "/root/repo/src/phys/solver.cc" "src/phys/CMakeFiles/hfpu_phys.dir/solver.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/solver.cc.o.d"
+  "/root/repo/src/phys/world.cc" "src/phys/CMakeFiles/hfpu_phys.dir/world.cc.o" "gcc" "src/phys/CMakeFiles/hfpu_phys.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fp/CMakeFiles/hfpu_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hfpu_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

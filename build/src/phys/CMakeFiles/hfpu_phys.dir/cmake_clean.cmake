@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_phys.dir/body.cc.o"
+  "CMakeFiles/hfpu_phys.dir/body.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/broadphase.cc.o"
+  "CMakeFiles/hfpu_phys.dir/broadphase.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/cloth.cc.o"
+  "CMakeFiles/hfpu_phys.dir/cloth.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/controller.cc.o"
+  "CMakeFiles/hfpu_phys.dir/controller.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/energy.cc.o"
+  "CMakeFiles/hfpu_phys.dir/energy.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/island.cc.o"
+  "CMakeFiles/hfpu_phys.dir/island.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/joint.cc.o"
+  "CMakeFiles/hfpu_phys.dir/joint.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/narrowphase.cc.o"
+  "CMakeFiles/hfpu_phys.dir/narrowphase.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/parallel.cc.o"
+  "CMakeFiles/hfpu_phys.dir/parallel.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/row.cc.o"
+  "CMakeFiles/hfpu_phys.dir/row.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/solver.cc.o"
+  "CMakeFiles/hfpu_phys.dir/solver.cc.o.d"
+  "CMakeFiles/hfpu_phys.dir/world.cc.o"
+  "CMakeFiles/hfpu_phys.dir/world.cc.o.d"
+  "libhfpu_phys.a"
+  "libhfpu_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

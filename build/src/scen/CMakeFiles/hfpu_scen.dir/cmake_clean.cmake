@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfpu_scen.dir/evaluate.cc.o"
+  "CMakeFiles/hfpu_scen.dir/evaluate.cc.o.d"
+  "CMakeFiles/hfpu_scen.dir/ragdoll.cc.o"
+  "CMakeFiles/hfpu_scen.dir/ragdoll.cc.o.d"
+  "CMakeFiles/hfpu_scen.dir/scenario.cc.o"
+  "CMakeFiles/hfpu_scen.dir/scenario.cc.o.d"
+  "libhfpu_scen.a"
+  "libhfpu_scen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfpu_scen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

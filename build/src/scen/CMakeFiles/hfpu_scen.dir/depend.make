@@ -1,0 +1,2 @@
+# Empty dependencies file for hfpu_scen.
+# This may be replaced when dependencies are built.

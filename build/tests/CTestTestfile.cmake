@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fp")
+subdirs("fpu")
+subdirs("math")
+subdirs("phys")
+subdirs("scen")
+subdirs("csim")
+subdirs("model")

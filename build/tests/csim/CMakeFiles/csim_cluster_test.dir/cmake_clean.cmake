@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csim_cluster_test.dir/cluster_test.cc.o"
+  "CMakeFiles/csim_cluster_test.dir/cluster_test.cc.o.d"
+  "csim_cluster_test"
+  "csim_cluster_test.pdb"
+  "csim_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csim_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

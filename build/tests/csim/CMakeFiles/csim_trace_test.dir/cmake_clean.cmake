@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csim_trace_test.dir/trace_test.cc.o"
+  "CMakeFiles/csim_trace_test.dir/trace_test.cc.o.d"
+  "csim_trace_test"
+  "csim_trace_test.pdb"
+  "csim_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csim_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

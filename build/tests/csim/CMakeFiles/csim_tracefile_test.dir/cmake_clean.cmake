@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csim_tracefile_test.dir/tracefile_test.cc.o"
+  "CMakeFiles/csim_tracefile_test.dir/tracefile_test.cc.o.d"
+  "csim_tracefile_test"
+  "csim_tracefile_test.pdb"
+  "csim_tracefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csim_tracefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/csim
+# Build directory: /root/repo/build/tests/csim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/csim/csim_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/csim/csim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/csim/csim_tracefile_test[1]_include.cmake")

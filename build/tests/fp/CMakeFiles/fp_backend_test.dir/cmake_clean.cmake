@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_backend_test.dir/backend_test.cc.o"
+  "CMakeFiles/fp_backend_test.dir/backend_test.cc.o.d"
+  "fp_backend_test"
+  "fp_backend_test.pdb"
+  "fp_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_precision_test.dir/precision_test.cc.o"
+  "CMakeFiles/fp_precision_test.dir/precision_test.cc.o.d"
+  "fp_precision_test"
+  "fp_precision_test.pdb"
+  "fp_precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

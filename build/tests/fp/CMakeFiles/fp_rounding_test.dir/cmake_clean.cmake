@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_rounding_test.dir/rounding_test.cc.o"
+  "CMakeFiles/fp_rounding_test.dir/rounding_test.cc.o.d"
+  "fp_rounding_test"
+  "fp_rounding_test.pdb"
+  "fp_rounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

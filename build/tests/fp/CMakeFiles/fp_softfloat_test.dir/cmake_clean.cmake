@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_softfloat_test.dir/softfloat_test.cc.o"
+  "CMakeFiles/fp_softfloat_test.dir/softfloat_test.cc.o.d"
+  "fp_softfloat_test"
+  "fp_softfloat_test.pdb"
+  "fp_softfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_softfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

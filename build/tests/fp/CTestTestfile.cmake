@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fp
+# Build directory: /root/repo/build/tests/fp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fp/fp_softfloat_test[1]_include.cmake")
+include("/root/repo/build/tests/fp/fp_rounding_test[1]_include.cmake")
+include("/root/repo/build/tests/fp/fp_precision_test[1]_include.cmake")
+include("/root/repo/build/tests/fp/fp_backend_test[1]_include.cmake")

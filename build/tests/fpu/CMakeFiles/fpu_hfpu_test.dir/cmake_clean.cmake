@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_hfpu_test.dir/hfpu_test.cc.o"
+  "CMakeFiles/fpu_hfpu_test.dir/hfpu_test.cc.o.d"
+  "fpu_hfpu_test"
+  "fpu_hfpu_test.pdb"
+  "fpu_hfpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_hfpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

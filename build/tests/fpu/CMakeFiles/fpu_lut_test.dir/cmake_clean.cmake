@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_lut_test.dir/lut_test.cc.o"
+  "CMakeFiles/fpu_lut_test.dir/lut_test.cc.o.d"
+  "fpu_lut_test"
+  "fpu_lut_test.pdb"
+  "fpu_lut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_lut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_memo_test.dir/memo_test.cc.o"
+  "CMakeFiles/fpu_memo_test.dir/memo_test.cc.o.d"
+  "fpu_memo_test"
+  "fpu_memo_test.pdb"
+  "fpu_memo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_memo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

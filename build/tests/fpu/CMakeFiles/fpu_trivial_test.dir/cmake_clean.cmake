@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_trivial_test.dir/trivial_test.cc.o"
+  "CMakeFiles/fpu_trivial_test.dir/trivial_test.cc.o.d"
+  "fpu_trivial_test"
+  "fpu_trivial_test.pdb"
+  "fpu_trivial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_trivial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fpu
+# Build directory: /root/repo/build/tests/fpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fpu/fpu_trivial_test[1]_include.cmake")
+include("/root/repo/build/tests/fpu/fpu_memo_test[1]_include.cmake")
+include("/root/repo/build/tests/fpu/fpu_lut_test[1]_include.cmake")
+include("/root/repo/build/tests/fpu/fpu_hfpu_test[1]_include.cmake")

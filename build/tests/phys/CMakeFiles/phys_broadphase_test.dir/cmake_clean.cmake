@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_broadphase_test.dir/broadphase_test.cc.o"
+  "CMakeFiles/phys_broadphase_test.dir/broadphase_test.cc.o.d"
+  "phys_broadphase_test"
+  "phys_broadphase_test.pdb"
+  "phys_broadphase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_broadphase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

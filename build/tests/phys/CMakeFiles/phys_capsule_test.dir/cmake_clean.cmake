@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_capsule_test.dir/capsule_test.cc.o"
+  "CMakeFiles/phys_capsule_test.dir/capsule_test.cc.o.d"
+  "phys_capsule_test"
+  "phys_capsule_test.pdb"
+  "phys_capsule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_capsule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

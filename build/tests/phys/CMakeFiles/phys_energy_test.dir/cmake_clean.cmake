@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_energy_test.dir/energy_test.cc.o"
+  "CMakeFiles/phys_energy_test.dir/energy_test.cc.o.d"
+  "phys_energy_test"
+  "phys_energy_test.pdb"
+  "phys_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

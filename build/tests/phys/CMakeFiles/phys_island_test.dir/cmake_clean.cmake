@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_island_test.dir/island_test.cc.o"
+  "CMakeFiles/phys_island_test.dir/island_test.cc.o.d"
+  "phys_island_test"
+  "phys_island_test.pdb"
+  "phys_island_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_island_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_narrowphase_property_test.dir/narrowphase_property_test.cc.o"
+  "CMakeFiles/phys_narrowphase_property_test.dir/narrowphase_property_test.cc.o.d"
+  "phys_narrowphase_property_test"
+  "phys_narrowphase_property_test.pdb"
+  "phys_narrowphase_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_narrowphase_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_parallel_test.dir/parallel_test.cc.o"
+  "CMakeFiles/phys_parallel_test.dir/parallel_test.cc.o.d"
+  "phys_parallel_test"
+  "phys_parallel_test.pdb"
+  "phys_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

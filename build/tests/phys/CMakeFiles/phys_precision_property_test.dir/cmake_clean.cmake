@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_precision_property_test.dir/precision_property_test.cc.o"
+  "CMakeFiles/phys_precision_property_test.dir/precision_property_test.cc.o.d"
+  "phys_precision_property_test"
+  "phys_precision_property_test.pdb"
+  "phys_precision_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_precision_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

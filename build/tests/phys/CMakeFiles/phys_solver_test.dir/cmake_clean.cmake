@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_solver_test.dir/solver_test.cc.o"
+  "CMakeFiles/phys_solver_test.dir/solver_test.cc.o.d"
+  "phys_solver_test"
+  "phys_solver_test.pdb"
+  "phys_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_world_test.dir/world_test.cc.o"
+  "CMakeFiles/phys_world_test.dir/world_test.cc.o.d"
+  "phys_world_test"
+  "phys_world_test.pdb"
+  "phys_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

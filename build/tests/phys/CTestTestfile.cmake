@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/phys
+# Build directory: /root/repo/build/tests/phys
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/phys/phys_narrowphase_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_world_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_energy_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_island_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_capsule_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_precision_property_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_narrowphase_property_test[1]_include.cmake")
+include("/root/repo/build/tests/phys/phys_broadphase_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scen_evaluate_test.dir/evaluate_test.cc.o"
+  "CMakeFiles/scen_evaluate_test.dir/evaluate_test.cc.o.d"
+  "scen_evaluate_test"
+  "scen_evaluate_test.pdb"
+  "scen_evaluate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scen_evaluate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scen_scenario_test.dir/scenario_test.cc.o"
+  "CMakeFiles/scen_scenario_test.dir/scenario_test.cc.o.d"
+  "scen_scenario_test"
+  "scen_scenario_test.pdb"
+  "scen_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scen_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
