@@ -24,8 +24,8 @@ using namespace hfpu::bench;
 namespace {
 
 void
-printRow(const char *name, const SweepResult &r, double fpu_area,
-         double baseline_ipc, int mini_share = 1)
+printRow(BenchReport &report, const char *name, const SweepResult &r,
+         double fpu_area, double baseline_ipc, int mini_share = 1)
 {
     const double local = 100.0 * r.service.fractionLocalOneCycle();
     const double area = model::l1OverheadMm2(r.point.design, fpu_area,
@@ -39,13 +39,24 @@ printRow(const char *name, const SweepResult &r, double fpu_area,
     std::printf("%-34s %8.3f %9.1f%% %12.4f %11.1f%% %10.1f%%\n", name,
                 r.ipcPerCore, local, area, imp,
                 100.0 * energy.reduction());
+    const std::string key = pointKey(r.point);
+    report.metric(key + "/ipc", r.ipcPerCore);
+    report.metric(key + "/local_pct", local);
+    report.metric(key + "/area_mm2", area);
+    report.metric(key + "/improvement_pct", imp);
+    report.metric(key + "/energy_reduction_pct",
+                  100.0 * energy.reduction());
+    report.service(key, r.service);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args(argc, argv);
+    BenchReport report("ablation_l1");
+    const int steps = args.quick() ? 24 : 60;
     const double fpu_area = 1.0;
 
     std::vector<csim::DesignPoint> points = {
@@ -56,8 +67,9 @@ main()
         {fpu::L1Design::ReducedTrivMemo, 4, 1, -1, true, 11}, // fuzzy 11
         {fpu::L1Design::ReducedTrivMemo, 4, 1, -1, true, 5},  // fuzzy 5
     };
-    const auto results = sweepAllScenarios(fp::Phase::Lcp, points);
+    const auto results = sweepAllScenarios(fp::Phase::Lcp, points, steps);
     const double baseline_ipc = results[0].ipcPerCore;
+    report.metric("baseline_ipc", baseline_ipc);
 
     std::printf("L1 design ablation, LCP phase, 4 cores per %g mm2 L2 "
                 "FPU\n\n",
@@ -66,16 +78,16 @@ main()
                 "IPC/core", "% local", "area mm2",
                 "throughput", "FP energy");
     rule(92);
-    printRow("Lookup + Reduced Triv (paper)", results[1], fpu_area,
+    printRow(report, "Lookup + Reduced Triv (paper)", results[1],
+             fpu_area, baseline_ipc);
+    printRow(report, "  ... without subtract bank", results[2], fpu_area,
              baseline_ipc);
-    printRow("  ... without subtract bank", results[2], fpu_area,
+    printRow(report, "Memo tables (exact tags)", results[3], fpu_area,
              baseline_ipc);
-    printRow("Memo tables (exact tags)", results[3], fpu_area,
-             baseline_ipc);
-    printRow("Memo tables (fuzzy, 11-bit tags)", results[4], fpu_area,
-             baseline_ipc);
-    printRow("Memo tables (fuzzy, 5-bit tags)", results[5], fpu_area,
-             baseline_ipc);
+    printRow(report, "Memo tables (fuzzy, 11-bit tags)", results[4],
+             fpu_area, baseline_ipc);
+    printRow(report, "Memo tables (fuzzy, 5-bit tags)", results[5],
+             fpu_area, baseline_ipc);
 
     // ------------------------------------------------------------
     // Ablation 4: the deferred reduced-divisor divide condition
@@ -114,19 +126,24 @@ main()
         ctx.setRecorder(&counter);
         for (const std::string &name : scen::scenarioNames()) {
             scen::Scenario s = scen::makeScenario(name);
-            s.run(60);
+            s.run(steps);
         }
         ctx.reset();
+        const double unit_pct =
+            counter.total ? 100.0 * counter.unit / counter.total : 0.0;
+        const double reduced_pct =
+            counter.total ? 100.0 * counter.reduced / counter.total
+                          : 0.0;
         std::printf("\nDeferred reduced-divisor condition (divisor "
                     "examined at 5 bits):\n"
                     "  LCP divides: %llu; trivial with paper rules: "
                     "%.1f%%; with reduced-divisor rule: %.1f%%\n",
                     static_cast<unsigned long long>(counter.total),
-                    counter.total ? 100.0 * counter.unit / counter.total
-                                  : 0.0,
-                    counter.total
-                        ? 100.0 * counter.reduced / counter.total
-                        : 0.0);
+                    unit_pct, reduced_pct);
+        report.metric("divides/total",
+                      static_cast<double>(counter.total));
+        report.metric("divides/trivial_pct", unit_pct);
+        report.metric("divides/reduced_divisor_pct", reduced_pct);
     }
 
     std::printf("\nExpected shape (the paper's Section 4.3.4 argument): "
@@ -136,5 +153,6 @@ main()
                 "packed; fuzzy tags narrow\nthe hit-rate gap but the "
                 "area stays 0.35 mm2 per core, and memo accesses cost\n"
                 "24x the energy of a lookup.\n");
-    return 0;
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

@@ -1,0 +1,159 @@
+#ifndef HFPU_BENCH_BENCHARGS_H
+#define HFPU_BENCH_BENCHARGS_H
+
+/**
+ * @file
+ * Shared command-line handling and artifact emission for the bench
+ * binaries. Every bench accepts:
+ *
+ *   --json <path>   write the numbers it prints as a machine-readable
+ *                   BENCH_<name>.json artifact (schema below)
+ *   --quick         shortened run for smoke / CI regression passes
+ *
+ * plus any bench-specific flags, which reach the bench via has().
+ *
+ * Artifact schema (consumed by tools/bench_regress):
+ *   {
+ *     "schema": 1,
+ *     "bench": "<name>",
+ *     "quick": bool,
+ *     "metrics": { "<key>": number, ... },   // compared vs baseline
+ *     "info":    { ... },                    // not compared
+ *     "service": { "<key>": {...}, ... },    // fpu::ServiceStats dumps
+ *     "profile": { "counters": {...}, "timers": {...} }
+ *   }
+ *
+ * Only "metrics" entries participate in regression checking; wall-clock
+ * timers under "profile" are informational (they vary run to run).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "csim/metrics.h"
+#include "fpu/hfpu.h"
+
+namespace hfpu {
+namespace bench {
+
+/** Parsed common bench arguments. */
+class BenchArgs
+{
+  public:
+    BenchArgs(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                jsonPath_ = argv[++i];
+            } else if (arg.rfind("--json=", 0) == 0) {
+                jsonPath_ = arg.substr(7);
+            } else {
+                flags_.push_back(arg);
+            }
+        }
+    }
+
+    /** Artifact destination; empty when --json was not given. */
+    const std::string &jsonPath() const { return jsonPath_; }
+
+    bool
+    has(const std::string &flag) const
+    {
+        for (const auto &f : flags_)
+            if (f == flag)
+                return true;
+        return false;
+    }
+
+    bool quick() const { return has("--quick"); }
+
+  private:
+    std::string jsonPath_;
+    std::vector<std::string> flags_;
+};
+
+/** Accumulates one bench run's numbers and writes the JSON artifact. */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name))
+    {
+        metrics_ = metrics::Json::object();
+        info_ = metrics::Json::object();
+        service_ = metrics::Json::object();
+    }
+
+    /** Record one compared metric. */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.set(key, metrics::Json(value));
+    }
+
+    /** Record an informational (non-compared) value. */
+    void
+    info(const std::string &key, metrics::Json value)
+    {
+        info_.set(key, std::move(value));
+    }
+
+    /** Attach a full per-service-level stats dump. */
+    void
+    service(const std::string &key, const fpu::ServiceStats &stats)
+    {
+        service_.set(key, metrics::serviceStatsJson(stats));
+    }
+
+    metrics::Json
+    toJson(bool quick) const
+    {
+        metrics::Json out = metrics::Json::object();
+        out.set("schema", metrics::Json(1));
+        out.set("bench", metrics::Json(name_));
+        out.set("quick", metrics::Json(quick));
+        out.set("metrics", metrics_);
+        if (info_.size())
+            out.set("info", info_);
+        if (service_.size())
+            out.set("service", service_);
+        out.set("profile", metrics::Registry::global().toJson());
+        return out;
+    }
+
+    /**
+     * Write the artifact when --json was requested. Returns false (and
+     * complains on stderr) only on I/O failure.
+     */
+    bool
+    write(const BenchArgs &args) const
+    {
+        if (args.jsonPath().empty())
+            return true;
+        const std::string text = toJson(args.quick()).dump();
+        std::FILE *f = std::fopen(args.jsonPath().c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         args.jsonPath().c_str());
+            return false;
+        }
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        std::fclose(f);
+        if (ok)
+            std::printf("wrote %s\n", args.jsonPath().c_str());
+        return ok;
+    }
+
+  private:
+    std::string name_;
+    metrics::Json metrics_;
+    metrics::Json info_;
+    metrics::Json service_;
+};
+
+} // namespace bench
+} // namespace hfpu
+
+#endif // HFPU_BENCH_BENCHARGS_H

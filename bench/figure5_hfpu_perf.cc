@@ -41,7 +41,8 @@ struct Arch {
 };
 
 void
-runPhase(fp::Phase phase, const char *title)
+runPhase(fp::Phase phase, const char *title, const char *phase_key,
+         int steps, BenchReport &report)
 {
     const Arch archs[] = {
         {"Conjoin", fpu::L1Design::Baseline},
@@ -60,8 +61,10 @@ runPhase(fp::Phase phase, const char *title)
             points.push_back({arch.design, n, 1, -1});
     }
 
-    const auto results = sweepAllScenarios(phase, points);
+    const auto results = sweepAllScenarios(phase, points, steps);
     const double baseline_ipc = results[0].ipcPerCore;
+    report.metric(std::string(phase_key) + "/baseline_ipc",
+                  baseline_ipc);
 
     std::printf("Figure 5 (%s): %% throughput improvement over the "
                 "128-core unshared baseline\n",
@@ -85,6 +88,11 @@ runPhase(fp::Phase phase, const char *title)
                     r.ipcPerCore, r.point.design, fpu_area,
                     r.point.coresPerFpu, 1, baseline_ipc);
                 std::printf("%5.0f%%", imp);
+                char key[96];
+                std::snprintf(key, sizeof(key),
+                              "%s/%s/a%.3f/improvement_pct", phase_key,
+                              pointKey(r.point).c_str(), fpu_area);
+                report.metric(key, imp);
             }
         }
         std::printf("\n");
@@ -97,15 +105,18 @@ runPhase(fp::Phase phase, const char *title)
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--config") == 0)
-            printConfig();
-    }
-    runPhase(fp::Phase::Lcp, "a: LCP");
-    runPhase(fp::Phase::Narrow, "b: Narrow-phase");
+    const BenchArgs args(argc, argv);
+    BenchReport report("figure5_hfpu_perf");
+    const int steps = args.quick() ? 24 : 60;
+    if (args.has("--config"))
+        printConfig();
+    runPhase(fp::Phase::Lcp, "a: LCP", "lcp", steps, report);
+    runPhase(fp::Phase::Narrow, "b: Narrow-phase", "narrow", steps,
+             report);
     std::printf("Paper shape: gains grow with FPU area; the sweet spot "
                 "is Lookup+ReducedTriv sharing one FPU among 4 cores "
                 "(paper: up to +55%% LCP / +46%% NP at 1.5 mm2); naked "
                 "Conjoin degrades at deep sharing.\n");
-    return 0;
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

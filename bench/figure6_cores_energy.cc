@@ -18,7 +18,7 @@ using namespace hfpu::bench;
 namespace {
 
 void
-partA()
+partA(BenchReport &report)
 {
     std::printf("Figure 6a: total cores in the baseline die area\n");
     std::printf("(die areas: 472 / 408 / 376 / 328 mm2 for FPU sizes "
@@ -53,8 +53,15 @@ partA()
                     std::printf("%5s", "-");
                     continue;
                 }
-                std::printf("%5d", model::coresInDie(c.design, fpu_area,
-                                                     n, c.miniShare));
+                const int cores = model::coresInDie(c.design, fpu_area,
+                                                    n, c.miniShare);
+                std::printf("%5d", cores);
+                char key[96];
+                std::snprintf(key, sizeof(key),
+                              "cores/%s_m%d/a%.3f/s%d",
+                              fpu::l1DesignName(c.design), c.miniShare,
+                              fpu_area, n);
+                report.metric(key, cores);
             }
         }
         std::printf("\n");
@@ -63,7 +70,7 @@ partA()
 }
 
 void
-partB()
+partB(BenchReport &report, int steps)
 {
     std::printf("Figure 6b: %% FP ops satisfied locally and %% FP "
                 "energy reduction (C/R/L)\n\n");
@@ -75,7 +82,9 @@ partB()
     const char *labels[] = {"C (Conv Triv)", "R (Reduced Triv)",
                             "L (Lookup + Reduced Triv)"};
     for (auto phase : {fp::Phase::Narrow, fp::Phase::Lcp}) {
-        const auto results = sweepAllScenarios(phase, points);
+        const auto results = sweepAllScenarios(phase, points, steps);
+        const char *phase_key =
+            phase == fp::Phase::Narrow ? "narrow" : "lcp";
         std::printf("%s:\n", phase == fp::Phase::Narrow ? "Narrow-phase"
                                                         : "LCP");
         std::printf("  %-28s %-14s %-18s\n", "design", "% local",
@@ -87,6 +96,14 @@ partB()
             std::printf("  %-28s %-14.1f %-18.1f\n", labels[i],
                         100.0 * results[i].service.fractionLocalOneCycle(),
                         100.0 * energy.reduction());
+            const std::string key = std::string(phase_key) + "/" +
+                pointKey(results[i].point);
+            report.metric(
+                key + "/local_pct",
+                100.0 * results[i].service.fractionLocalOneCycle());
+            report.metric(key + "/energy_reduction_pct",
+                          100.0 * energy.reduction());
+            report.service(key, results[i].service);
         }
         std::printf("\n");
     }
@@ -97,9 +114,13 @@ partB()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    partA();
-    partB();
-    return 0;
+    const BenchArgs args(argc, argv);
+    BenchReport report("figure6_cores_energy");
+    const int steps = args.quick() ? 24 : 60;
+    partA(report);
+    partB(report, steps);
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

@@ -22,7 +22,8 @@ struct Arch {
 };
 
 void
-runPhase(fp::Phase phase, const char *title)
+runPhase(fp::Phase phase, const char *title, const char *phase_key,
+         int steps, BenchReport &report)
 {
     const Arch archs[] = {
         {"Lookup + Reduced Triv + Conjoin",
@@ -46,8 +47,10 @@ runPhase(fp::Phase phase, const char *title)
         }
     }
 
-    const auto results = sweepAllScenarios(phase, points);
+    const auto results = sweepAllScenarios(phase, points, steps);
     const double baseline_ipc = results[0].ipcPerCore;
+    report.metric(std::string(phase_key) + "/baseline_ipc",
+                  baseline_ipc);
 
     std::printf("Figure 7 (%s): %% throughput improvement over the "
                 "128-core unshared baseline\n",
@@ -84,6 +87,11 @@ runPhase(fp::Phase phase, const char *title)
                     r.point.coresPerFpu, r.point.miniShare,
                     baseline_ipc);
                 std::printf("%5.0f%%", imp);
+                char key[96];
+                std::snprintf(key, sizeof(key),
+                              "%s/%s/a%.3f/improvement_pct", phase_key,
+                              pointKey(r.point).c_str(), fpu_area);
+                report.metric(key, imp);
             }
         }
         std::printf("\n");
@@ -94,13 +102,18 @@ runPhase(fp::Phase phase, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    runPhase(fp::Phase::Lcp, "a: LCP");
-    runPhase(fp::Phase::Narrow, "b: Narrow-phase");
+    const BenchArgs args(argc, argv);
+    BenchReport report("figure7_minifpu");
+    const int steps = args.quick() ? 24 : 60;
+    runPhase(fp::Phase::Lcp, "a: LCP", "lcp", steps, report);
+    runPhase(fp::Phase::Narrow, "b: Narrow-phase", "narrow", steps,
+             report);
     std::printf("Paper shape: the mini-FPU has the best per-core IPC "
                 "but packs fewer cores, so Lookup+ReducedTriv wins "
                 "overall; mini variants only become attractive for the "
                 "smallest FPU at the deepest sharing.\n");
-    return 0;
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

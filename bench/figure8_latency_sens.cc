@@ -17,7 +17,8 @@ using namespace hfpu::bench;
 namespace {
 
 void
-runPhase(fp::Phase phase, const char *title)
+runPhase(fp::Phase phase, const char *title, const char *phase_key,
+         int steps, BenchReport &report)
 {
     std::vector<csim::DesignPoint> points;
     // Reference: HFPU2 with 0-cycle interconnect.
@@ -26,7 +27,7 @@ runPhase(fp::Phase phase, const char *title)
     for (int lat = 1; lat <= 4; ++lat)
         points.push_back({fpu::L1Design::ReducedTrivLut, 4, 1, lat});
 
-    const auto results = sweepAllScenarios(phase, points);
+    const auto results = sweepAllScenarios(phase, points, steps);
 
     std::printf("Figure 8 (%s): %% throughput improvement of HFPU4 over "
                 "HFPU2 0-cycle\n",
@@ -46,8 +47,14 @@ runPhase(fp::Phase phase, const char *title)
                 results[lat].ipcPerCore *
                 model::coresInDie(fpu::L1Design::ReducedTrivLut,
                                   fpu_area, 4);
-            std::printf("%14.1f%%",
-                        100.0 * (throughput / ref_throughput - 1.0));
+            const double imp =
+                100.0 * (throughput / ref_throughput - 1.0);
+            std::printf("%14.1f%%", imp);
+            char key[96];
+            std::snprintf(key, sizeof(key),
+                          "%s/a%.3f/lat%d/improvement_pct", phase_key,
+                          fpu_area, lat);
+            report.metric(key, imp);
         }
         std::printf("\n");
     }
@@ -57,12 +64,17 @@ runPhase(fp::Phase phase, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    runPhase(fp::Phase::Lcp, "a: LCP");
-    runPhase(fp::Phase::Narrow, "b: Narrow-phase");
+    const BenchArgs args(argc, argv);
+    BenchReport report("figure8_latency_sens");
+    const int steps = args.quick() ? 24 : 60;
+    runPhase(fp::Phase::Lcp, "a: LCP", "lcp", steps, report);
+    runPhase(fp::Phase::Narrow, "b: Narrow-phase", "narrow", steps,
+             report);
     std::printf("Paper shape: LCP is more latency-sensitive than the "
                 "narrow phase; the aggressively small FPUs suffer once "
                 "the added latency exceeds one cycle.\n");
-    return 0;
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

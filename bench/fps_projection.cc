@@ -36,8 +36,10 @@ struct Config {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args(argc, argv);
+    BenchReport report("fps_projection");
     const Config configs[] = {
         {"128-core baseline (private FPUs)", fpu::L1Design::Baseline, 1},
         {"Conjoin x4", fpu::L1Design::Baseline, 4},
@@ -46,7 +48,7 @@ main()
         {"HFPU x8 (Lookup + Reduced Triv)",
          fpu::L1Design::ReducedTrivLut, 8},
     };
-    const int steps = 120;
+    const int steps = args.quick() ? 48 : 120;
 
     std::vector<csim::DesignPoint> points;
     for (const Config &c : configs)
@@ -106,6 +108,12 @@ main()
             // bound, i.e. how much more scene this machine could
             // simulate interactively.
             std::printf(" %8.0fx@60", fps / 60.0);
+            char key[96];
+            std::snprintf(key, sizeof(key),
+                          "%s_s%d/a%.3f/headroom_x60",
+                          fpu::l1DesignName(configs[i].design),
+                          configs[i].sharing, fpu_area);
+            report.metric(key, fps / 60.0);
         }
         std::printf("\n");
     }
@@ -113,5 +121,6 @@ main()
                 "fps interactive bound for this\n~70-body scene.) "
                 "Shape: the HFPU-at-4-way row beats the baseline at "
                 "every FPU\narea, most strongly for the large FPUs.\n");
-    return 0;
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "benchargs.h"
 #include "csim/experiment.h"
 #include "model/area.h"
 #include "scen/scenario.h"
@@ -84,6 +85,45 @@ rule(int width)
     for (int i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/**
+ * Stable metric-key fragment for a design point, e.g.
+ * "ReducedTrivLut_s4" or "ReducedTrivMini_s8_m2" (mini share and
+ * forced interconnect latency only appear when non-default).
+ */
+inline std::string
+pointKey(const csim::DesignPoint &point)
+{
+    std::string key = fpu::l1DesignName(point.design);
+    key += "_s" + std::to_string(point.coresPerFpu);
+    if (point.miniShare != 1)
+        key += "_m" + std::to_string(point.miniShare);
+    if (point.interconnectOverride >= 0)
+        key += "_l" + std::to_string(point.interconnectOverride);
+    if (!point.lutSubBank)
+        key += "_nosub";
+    if (point.memoFuzzyBits != 23)
+        key += "_f" + std::to_string(point.memoFuzzyBits);
+    return key;
+}
+
+/**
+ * Record one sweep into a report: per-point IPC under
+ * "<prefix>/<pointKey>/ipc" plus the local-service fraction, and the
+ * full service-stats dump under the same key.
+ */
+inline void
+addSweep(BenchReport &report, const std::string &prefix,
+         const std::vector<SweepResult> &results)
+{
+    for (const SweepResult &r : results) {
+        const std::string key = prefix + "/" + pointKey(r.point);
+        report.metric(key + "/ipc", r.ipcPerCore);
+        report.metric(key + "/local_fraction",
+                      r.service.fractionLocalOneCycle());
+        report.service(key, r.service);
+    }
 }
 
 } // namespace bench

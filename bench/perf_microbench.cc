@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "csim/cluster.h"
 #include "fp/precision.h"
@@ -174,4 +176,42 @@ BENCHMARK(BM_ClusterDispatch);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary speaks the same `--json <path>` flag as
+ * the table/figure benches: it is translated into google-benchmark's
+ * native JSON reporter arguments before initialization.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> storage;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string path;
+        if (arg == "--json" && i + 1 < argc)
+            path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            path = arg.substr(7);
+        if (!path.empty()) {
+            storage.push_back("--benchmark_out=" + path);
+            storage.push_back("--benchmark_out_format=json");
+        } else if (arg == "--quick") {
+            // Plain seconds: the "0.05s"-suffix form needs benchmark
+            // >= 1.8 and older installs reject it.
+            storage.push_back("--benchmark_min_time=0.05");
+        } else {
+            storage.push_back(arg);
+        }
+    }
+    for (std::string &s : storage)
+        args.push_back(s.data());
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "benchargs.h"
 #include "fp/types.h"
 #include "scen/evaluate.h"
 #include "scen/scenario.h"
@@ -25,11 +26,11 @@ using namespace hfpu::scen;
 int
 main(int argc, char **argv)
 {
+    const bench::BenchArgs args(argc, argv);
+    bench::BenchReport report("table1_min_precision");
     EvalConfig config;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
-            config.steps = 120;
-    }
+    if (args.quick())
+        config.steps = 120;
 
     const fp::RoundingMode modes[] = {fp::RoundingMode::RoundToNearest,
                                       fp::RoundingMode::Jamming,
@@ -45,6 +46,7 @@ main(int argc, char **argv)
                 "RN", "J", "T", "RN", "J", "T");
     std::printf("---------------------------------------------------\n");
 
+    const char *mode_keys[] = {"rn", "j", "t"};
     for (const std::string &name : scenarioNames()) {
         int lcp[3], narrow[3];
         for (int m = 0; m < 3; ++m) {
@@ -60,11 +62,17 @@ main(int argc, char **argv)
         std::printf("%-12s | %4d %4d %4d | %4d %4d (%2d) %4d\n",
                     name.c_str(), lcp[0], lcp[1], lcp[2], narrow[0],
                     narrow[1], cotuned, narrow[2]);
+        for (int m = 0; m < 3; ++m) {
+            report.metric(name + "/lcp/" + mode_keys[m], lcp[m]);
+            report.metric(name + "/narrow/" + mode_keys[m], narrow[m]);
+        }
+        report.metric(name + "/narrow/cotuned", cotuned);
     }
+    report.info("steps", metrics::Json(config.steps));
 
     std::printf("\nPaper shape: RN <= J <= T in required bits per cell; "
                 "Deformable/Continuous/Highspeed tolerate few bits, "
                 "Periodic/Everything/Explosions need more; co-tuned "
                 "narrow requirements >= independent ones.\n");
-    return 0;
+    return report.write(args) ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "benchargs.h"
 #include "fp/precision.h"
 #include "fpu/trivial.h"
 #include "phys/world.h"
@@ -71,19 +72,29 @@ addGround(World &world)
         RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
 }
 
+/** Report under a stable slug; keeps table text free to change. */
+bench::BenchReport *g_report = nullptr;
+
 void
-row(const char *factor, const char *more, double more_rate,
-    const char *less, double less_rate)
+row(const char *slug, const char *factor, const char *more,
+    double more_rate, const char *less, double less_rate)
 {
     std::printf("%-44s %-28s %5.1f%%   %-28s %5.1f%%\n", factor, more,
                 more_rate, less, less_rate);
+    if (g_report) {
+        g_report->metric(std::string(slug) + "/with", more_rate);
+        g_report->metric(std::string(slug) + "/without", less_rate);
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args(argc, argv);
+    bench::BenchReport report("table3_triv_factors");
+    g_report = &report;
     std::printf("Table 3: factors increasing trivialization\n"
                 "(reduced-precision LCP trivialization rate, directed "
                 "tests, 8 mantissa bits)\n\n");
@@ -103,7 +114,8 @@ main()
             world.addBody(b);
         };
     };
-    row("Small mass difference between objects", "equal masses",
+    row("mass_difference",
+        "Small mass difference between objects", "equal masses",
         trivRate(massPair(1.0f)), "10x mass ratio",
         trivRate(massPair(10.0f)));
 
@@ -118,7 +130,8 @@ main()
             world.addBody(box);
         };
     };
-    row("Zero velocities before collision", "body at rest",
+    row("zero_velocities",
+        "Zero velocities before collision", "body at rest",
         trivRate(dropBox({}, {})), "thrown and spinning",
         trivRate(dropBox({2.0f, -1.0f, 1.0f}, {3.0f, 4.0f, 2.0f})));
 
@@ -133,7 +146,8 @@ main()
                                      0.0f}));
         };
     };
-    row("Small size difference between objects", "equal sizes",
+    row("size_difference",
+        "Small size difference between objects", "equal sizes",
         trivRate(sizePair(0.3f)), "3x size ratio",
         trivRate(sizePair(0.9f)));
 
@@ -153,7 +167,8 @@ main()
             }
         };
     };
-    row("Simple object shapes", "spheres", trivRate(shapes(true)),
+    row("simple_shapes",
+        "Simple object shapes", "spheres", trivRate(shapes(true)),
         "boxes", trivRate(shapes(false)));
 
     // 5. Use of ground and gravity.
@@ -171,7 +186,8 @@ main()
             world.addBody(b);
         };
     };
-    row("Use of ground and gravity", "ground + gravity",
+    row("ground_gravity",
+        "Use of ground and gravity", "ground + gravity",
         trivRate(collision(true)), "free space",
         trivRate(collision(false), {0.0f, 0.0f, 0.0f}));
 
@@ -179,7 +195,8 @@ main()
     // the impact/settling window (both bodies start just above the
     // ground and are spun identically so neither side gets a long
     // at-rest tail that would swamp the comparison).
-    row("Higher articulation (human vs box)", "collapsing ragdoll",
+    row("articulation",
+        "Higher articulation (human vs box)", "collapsing ragdoll",
         trivRate([](World &world) {
             addGround(world);
             const scen::Ragdoll doll =
@@ -204,5 +221,5 @@ main()
         "(whose rows are dominated by padded unit/zero Jacobian "
         "blocks), matching the paper's emphasis on constraint "
         "structure.\n");
-    return 0;
+    return report.write(args) ? 0 : 1;
 }

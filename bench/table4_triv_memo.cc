@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "benchargs.h"
 #include "csim/profile.h"
 #include "fp/precision.h"
 #include "fpu/memo.h"
@@ -59,7 +60,8 @@ struct Rates {
 };
 
 Rates
-runScenario(const std::string &name, int lcp_bits, bool reduced)
+runScenario(const std::string &name, int lcp_bits, bool reduced,
+            int steps)
 {
     auto &ctx = fp::PrecisionContext::current();
     ctx.reset();
@@ -69,7 +71,7 @@ runScenario(const std::string &name, int lcp_bits, bool reduced)
     scen::Scenario scenario = scen::makeScenario(name);
     Collector collector(reduced);
     ctx.setRecorder(&collector);
-    scenario.run(200);
+    scenario.run(steps);
     ctx.reset();
 
     auto pct = [](double x) { return 100.0 * x; };
@@ -102,10 +104,11 @@ printTable2()
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--table2") == 0)
-            printTable2();
-    }
+    const bench::BenchArgs args(argc, argv);
+    bench::BenchReport report("table4_triv_memo");
+    const int steps = args.quick() ? 60 : 200;
+    if (args.has("--table2"))
+        printTable2();
 
     std::printf("Table 4: %% of LCP FP adds/multiplies trivialized or "
                 "memoized\n(23-bit = conventional conditions at full "
@@ -125,14 +128,24 @@ main(int argc, char **argv)
     int count = 0;
     for (const std::string &name : scen::scenarioNames()) {
         const int bits = csim::paperRoundToNearestLcpBits(name);
-        const Rates full = runScenario(name, bits, /*reduced=*/false);
-        const Rates reduced = runScenario(name, bits, /*reduced=*/true);
+        const Rates full =
+            runScenario(name, bits, /*reduced=*/false, steps);
+        const Rates reduced =
+            runScenario(name, bits, /*reduced=*/true, steps);
         std::printf("%-5s %-5d | %-7.0f %-7.0f %-7.0f %-7.0f |"
                     " %-7.0f %-7.0f %-7.0f %-7.0f\n",
                     scen::shortName(name).c_str(), bits, full.trivAdd,
                     full.trivMul, reduced.trivAdd, reduced.trivMul,
                     full.memoAdd, full.memoMul, reduced.memoAdd,
                     reduced.memoMul);
+        report.metric(name + "/triv23/add", full.trivAdd);
+        report.metric(name + "/triv23/mul", full.trivMul);
+        report.metric(name + "/triv_reduced/add", reduced.trivAdd);
+        report.metric(name + "/triv_reduced/mul", reduced.trivMul);
+        report.metric(name + "/memo23/add", full.memoAdd);
+        report.metric(name + "/memo23/mul", full.memoMul);
+        report.metric(name + "/memo_reduced/add", reduced.memoAdd);
+        report.metric(name + "/memo_reduced/mul", reduced.memoMul);
         sum_full_add += full.trivAdd;
         sum_full_mul += full.trivMul;
         sum_red_add += reduced.trivAdd;
@@ -146,5 +159,8 @@ main(int argc, char **argv)
                 "precision is <= 5 bits)\n",
                 (sum_red_add - sum_full_add) / count,
                 (sum_red_mul - sum_full_mul) / count);
-    return 0;
+    report.metric("avg_gain/add", (sum_red_add - sum_full_add) / count);
+    report.metric("avg_gain/mul", (sum_red_mul - sum_full_mul) / count);
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

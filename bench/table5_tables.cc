@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "benchargs.h"
 #include "model/tables.h"
 
+using namespace hfpu;
 using namespace hfpu::model;
 
 namespace {
@@ -22,11 +24,22 @@ printRow(const char *name, const TableCosts &c)
                 c.energyNj, c.areaMm2);
 }
 
+void
+reportCosts(bench::BenchReport &report, const std::string &key,
+            const TableCosts &c)
+{
+    report.metric(key + "/latency_ns", c.latencyNs);
+    report.metric(key + "/energy_nj", c.energyNj);
+    report.metric(key + "/area_mm2", c.areaMm2);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args(argc, argv);
+    bench::BenchReport report("table5_tables");
     std::printf("Table 5: lookup vs memoization table\n\n");
     std::printf("%-10s %12s %12s %12s\n", "Type", "Latency(ns)",
                 "Energy(nJ)", "Area(mm2)");
@@ -47,6 +60,13 @@ main()
         const TableCosts c = estimateTable({entries, 8, 1, false});
         std::printf("%7d x 8        %12.2f %12.2f %12.3f\n", entries,
                     c.latencyNs, c.energyNj, c.areaMm2);
+        reportCosts(report, "geometry/" + std::to_string(entries) + "x8",
+                    c);
     }
-    return 0;
+    reportCosts(report, "lookup", lookupTableCosts());
+    reportCosts(report, "memo", memoTableCosts());
+    report.metric("area_reduction_pct",
+                  100.0 * (1.0 - lookupTableCosts().areaMm2 /
+                                     memoTableCosts().areaMm2));
+    return report.write(args) ? 0 : 1;
 }

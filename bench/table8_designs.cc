@@ -11,8 +11,11 @@ using namespace hfpu;
 using namespace hfpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args(argc, argv);
+    const int steps = args.quick() ? 24 : 60;
+
     struct Row {
         const char *name;
         fpu::L1Design design;
@@ -30,8 +33,9 @@ main()
     for (const Row &row : rows)
         points.push_back({row.design, 4, 1, -1});
 
-    const auto narrow = sweepAllScenarios(fp::Phase::Narrow, points);
-    const auto lcp = sweepAllScenarios(fp::Phase::Lcp, points);
+    const auto narrow =
+        sweepAllScenarios(fp::Phase::Narrow, points, steps);
+    const auto lcp = sweepAllScenarios(fp::Phase::Lcp, points, steps);
 
     std::printf("Table 8: evaluated designs (4 cores per L2 FPU)\n");
     std::printf("%-33s %-26s %-10s %-10s\n", "architecture",
@@ -52,5 +56,17 @@ main()
     }
     std::printf("\nPaper reference (NP, LCP): 0.347/0.293, 0.376/0.319,"
                 " 0.377/0.334, 0.377/0.357, 0.382/0.364\n");
-    return 0;
+
+    BenchReport report("table8_designs");
+    addSweep(report, "narrow", narrow);
+    addSweep(report, "lcp", lcp);
+    for (const Row &row : rows) {
+        if (row.design != fpu::L1Design::ReducedTrivMini) {
+            report.metric(std::string("area_overhead/") +
+                              fpu::l1DesignName(row.design),
+                          model::l1OverheadMm2(row.design, 0.0));
+        }
+    }
+    report.info("steps", metrics::Json(steps));
+    return report.write(args) ? 0 : 1;
 }

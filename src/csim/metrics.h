@@ -1,0 +1,208 @@
+#ifndef HFPU_CSIM_METRICS_H
+#define HFPU_CSIM_METRICS_H
+
+/**
+ * @file
+ * Machine-readable observability layer: a minimal JSON value type
+ * (writer + parser, no external dependencies), a thread-safe metrics
+ * registry of named counters and wall-clock timers, and the metric
+ * comparison used by the bench regression checker.
+ *
+ * Every bench binary serializes its table/figure numbers through this
+ * layer into a `BENCH_<name>.json` artifact; `tools/bench_regress`
+ * parses those artifacts back and compares them against the checked-in
+ * baselines with a per-metric relative tolerance. The physics engine
+ * feeds the registry with scoped timers around its pipeline phases
+ * (broad phase, narrow phase, island build, LCP solve), so every
+ * artifact also carries a wall-clock profile of the run.
+ *
+ * Lives in its own small library (hfpu_metrics) below hfpu_phys and
+ * hfpu_csim so both can use it without a dependency cycle.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hfpu {
+namespace fpu {
+class ServiceStats;
+} // namespace fpu
+
+namespace metrics {
+
+/**
+ * Minimal JSON value. Objects preserve insertion order so emitted
+ * artifacts diff cleanly against baselines.
+ */
+class Json
+{
+  public:
+    enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), number_(n) {}
+    Json(int n) : type_(Type::Number), number_(n) {}
+    Json(int64_t n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {}
+    Json(uint64_t n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {}
+    Json(const char *s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isString() const { return type_ == Type::String; }
+
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    const std::string &asString() const { return string_; }
+
+    /** Array access. */
+    void push(Json value);
+    size_t size() const;
+    const Json &at(size_t index) const;
+
+    /** Object access: set() replaces an existing key in place. */
+    void set(const std::string &key, Json value);
+    /** Member lookup; returns nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+
+    /** Serialize; indent >= 0 pretty-prints with that indent step. */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse JSON text. On failure returns a Null value and, when
+     * @p error is non-null, stores a position-tagged message.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/**
+ * Thread-safe registry of named counters and accumulated wall-clock
+ * timers. Names are slash-separated paths ("phys/narrow", "lcp/rows")
+ * and become keys of the emitted "profile" JSON object.
+ */
+class Registry
+{
+  public:
+    /** Add @p delta to a named counter. */
+    void count(const std::string &name, uint64_t delta = 1);
+
+    /** Add one timed interval to a named timer. */
+    void addTime(const std::string &name, std::chrono::nanoseconds ns);
+
+    uint64_t counter(const std::string &name) const;
+    /** Total accumulated nanoseconds of a timer (0 when absent). */
+    uint64_t timerNs(const std::string &name) const;
+    /** Number of intervals accumulated into a timer. */
+    uint64_t timerCalls(const std::string &name) const;
+
+    /**
+     * Snapshot as {"counters": {...}, "timers": {name: {"ns": n,
+     * "calls": c}, ...}}.
+     */
+    Json toJson() const;
+
+    void reset();
+
+    /** Process-wide registry the physics pipeline reports into. */
+    static Registry &global();
+
+  private:
+    struct Timer {
+        uint64_t ns = 0;
+        uint64_t calls = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Timer> timers_;
+};
+
+/** RAII wall-clock timer accumulating into a registry on destruction. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Registry &registry, std::string name)
+        : registry_(registry), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedTimer()
+    {
+        registry_.addTime(name_,
+                          std::chrono::steady_clock::now() - start_);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Registry &registry_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Serialize per-service-level FP-op statistics: total op count, the
+ * count and fraction at each service level, and the fraction serviced
+ * locally in one cycle (the paper's Figure 6b metric).
+ */
+Json serviceStatsJson(const fpu::ServiceStats &stats);
+
+/** One metric difference found by compareMetricMaps. */
+struct MetricDelta {
+    std::string key;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** |current - baseline| / max(|baseline|, tiny). */
+    double relDelta = 0.0;
+    /** True when the key is missing or non-numeric on one side. */
+    bool missing = false;
+};
+
+/**
+ * Compare two flat JSON objects of named numbers (the "metrics"
+ * section of a bench artifact). Every baseline key must be present in
+ * @p current and agree within @p relTol relative tolerance (with a
+ * small absolute floor so exact zeros compare equal). Extra keys in
+ * @p current are ignored — adding metrics is not a regression.
+ *
+ * @param out when non-null receives one entry per violation.
+ * @return true when no metric violates the tolerance.
+ */
+bool compareMetricMaps(const Json &baseline, const Json &current,
+                       double relTol, std::vector<MetricDelta> *out);
+
+} // namespace metrics
+} // namespace hfpu
+
+#endif // HFPU_CSIM_METRICS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "csim/metrics.h"
 #include "fp/precision.h"
 
 namespace hfpu {
@@ -127,6 +128,11 @@ IslandSolver::relaxOnce()
 void
 IslandSolver::solve(int island_index, SolveObserver *observer)
 {
+    // Island solves run concurrently under the worker pool; the
+    // registry serializes internally.
+    auto &registry = metrics::Registry::global();
+    metrics::ScopedTimer timer(registry, "phys/lcp/solve");
+    registry.count("phys/lcp/rows", rows_.size());
     for (int it = 0; it < config_.iterations; ++it) {
         if (observer)
             observer->beginIteration(island_index, it);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "csim/metrics.h"
 #include "fp/precision.h"
 #include "phys/narrowphase.h"
 
@@ -87,6 +88,7 @@ World::applyForces()
 void
 World::runPhases()
 {
+    auto &registry = metrics::Registry::global();
     {
         ScopedPhase other(Phase::Other);
         applyForces();
@@ -95,13 +97,16 @@ World::runPhases()
     std::vector<BodyPair> pairs;
     {
         ScopedPhase broad(Phase::Broad);
+        metrics::ScopedTimer timer(registry, "phys/broad");
         pairs = sweepAndPrune(bodies_);
     }
     lastPairCount_ = static_cast<int>(pairs.size());
+    registry.count("phys/pairs", pairs.size());
 
     contacts_.clear();
     {
         ScopedPhase narrow(Phase::Narrow);
+        metrics::ScopedTimer timer(registry, "phys/narrow");
         if (parallelAllowed()) {
             // Work-queue over independent pairs; per-pair buffers are
             // merged in pair order so results match the serial engine
@@ -147,8 +152,11 @@ World::runPhases()
         }
     }
 
+    registry.count("phys/contacts", contacts_.size());
+
     {
         ScopedPhase island_phase(Phase::Island);
+        metrics::ScopedTimer timer(registry, "phys/island");
         islands_ = buildIslands(bodies_, contacts_, joints_);
         // Wake whole islands that contain any awake member: a
         // half-asleep island cannot be solved consistently.
@@ -169,8 +177,11 @@ World::runPhases()
         }
     }
 
+    registry.count("phys/islands", islands_.size());
+
     {
         ScopedPhase lcp(Phase::Lcp);
+        metrics::ScopedTimer timer(registry, "phys/lcp");
         IterationForwarder forwarder(listener_);
         auto solveIsland = [&](int i) {
             const Island &island = islands_[i];
@@ -201,8 +212,10 @@ World::runPhases()
 
     {
         ScopedPhase integ(Phase::Integrate);
+        metrics::ScopedTimer timer(registry, "phys/integrate");
         integrate();
     }
+    registry.count("phys/steps");
 
     if (config_.sleepingEnabled)
         updateSleeping();

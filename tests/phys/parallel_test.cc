@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <thread>
 
 #include "fp/precision.h"
 #include "phys/parallel.h"
@@ -81,6 +83,65 @@ TEST(WorkerPool, PropagatesPrecisionContextToWorkers)
     for (float r : results)
         EXPECT_EQ(r, 1.0f); // reduced in every worker
     ctx.reset();
+}
+
+TEST(WorkerPool, MoreThreadsThanTasks)
+{
+    WorkerPool pool(16);
+    EXPECT_EQ(pool.threads(), 16);
+    std::vector<std::atomic<int>> hits(3);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(3, [&](int i) { ++hits[i]; });
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkerPool, ConcurrentPoolsDrivenFromSeparateThreads)
+{
+    // Two pools, each driven from its own submitting thread, with a
+    // distinct precision snapshot per submitter: batches must not
+    // interfere and each pool must see its own submitter's context.
+    auto drive = [](int bits, std::atomic<int> *mismatches) {
+        auto &ctx = fp::PrecisionContext::current();
+        ctx.reset();
+        ctx.setMantissaBits(fp::Phase::Lcp, bits);
+        ctx.setRoundingMode(fp::RoundingMode::Truncation);
+        ctx.setPhase(fp::Phase::Lcp);
+        const float probe = 1.0f + 1.0f / 4096.0f; // needs 12 bits
+        const float expected = fp::fmul(probe, 1.0f);
+        WorkerPool pool(3);
+        for (int batch = 0; batch < 20; ++batch) {
+            pool.parallelFor(32, [&](int) {
+                if (fp::fmul(probe, 1.0f) != expected)
+                    ++*mismatches;
+            });
+        }
+        ctx.reset();
+    };
+    std::atomic<int> coarse_mismatches{0}, fine_mismatches{0};
+    std::thread coarse(drive, 4, &coarse_mismatches);
+    std::thread fine(drive, 23, &fine_mismatches);
+    coarse.join();
+    fine.join();
+    EXPECT_EQ(coarse_mismatches.load(), 0);
+    EXPECT_EQ(fine_mismatches.load(), 0);
+}
+
+TEST(WorkerPool, ShutdownIsCleanWithAndWithoutWork)
+{
+    // Pools destroyed immediately, after work, and while workers are
+    // likely still parked must all join without hangs or errors.
+    for (int i = 0; i < 8; ++i) {
+        WorkerPool idle(4);
+    }
+    for (int i = 0; i < 8; ++i) {
+        auto pool = std::make_unique<WorkerPool>(4);
+        std::atomic<int> count{0};
+        pool->parallelFor(16, [&](int) { ++count; });
+        pool.reset(); // destructor must not lose the finished batch
+        EXPECT_EQ(count.load(), 16);
+    }
 }
 
 TEST(ParallelEngine, BitExactWithSerialAcrossScenarios)

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Bench regression checker — the binary CI runs. Executes the fast
+ * (`--quick`) bench suite, writes each bench's `BENCH_<name>.json`
+ * artifact, and compares the artifact's "metrics" section against the
+ * checked-in baseline in `bench/baselines/` with a per-metric relative
+ * tolerance. Exits non-zero when any metric regresses, so a PR that
+ * accidentally changes IPC, trivialization rates, memo hit rates, or
+ * packing counts fails the pipeline.
+ *
+ * The simulator is deterministic (soft-float arithmetic, fixed seeds),
+ * so identical code produces identical artifacts; the tolerance exists
+ * to absorb intentional small model recalibrations, not noise.
+ * Wall-clock timers under "profile" are never compared.
+ *
+ *   bench_regress                      run suite, compare vs baselines
+ *   bench_regress --update-baselines   run suite, rewrite baselines
+ *   bench_regress --compare A B        compare two artifacts, no run
+ *   bench_regress --only <name>        restrict to one bench
+ *   bench_regress --tolerance <frac>   relative tolerance (default .05)
+ *   bench_regress --bench-dir <dir>    bench binary directory
+ *   bench_regress --baselines <dir>    baseline directory
+ *   bench_regress --out-dir <dir>      artifact output directory
+ *   bench_regress --list               print the suite and exit
+ *
+ * Exit codes: 0 pass, 1 regression, 2 usage/environment error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "csim/metrics.h"
+
+#ifndef HFPU_SOURCE_DIR
+#define HFPU_SOURCE_DIR "."
+#endif
+
+using hfpu::metrics::Json;
+using hfpu::metrics::MetricDelta;
+
+namespace {
+
+/** One entry of the regression suite. All run in --quick mode. */
+struct Suite {
+    const char *name;   //!< bench binary / artifact stem
+    const char *args;   //!< extra arguments
+};
+
+/**
+ * The fast suite: every table/figure bench whose quick pass finishes
+ * in seconds. table1_min_precision (minimum-precision bisection, ~min)
+ * and perf_microbench (wall-clock timings, google-benchmark schema)
+ * are deliberately excluded.
+ */
+const Suite kSuite[] = {
+    {"table3_triv_factors", ""},
+    {"table4_triv_memo", ""},
+    {"table5_tables", ""},
+    {"table8_designs", ""},
+    {"figure5_hfpu_perf", ""},
+    {"figure6_cores_energy", ""},
+    {"figure7_minifpu", ""},
+    {"figure8_latency_sens", ""},
+    {"ablation_l1", ""},
+    {"fps_projection", ""},
+};
+
+struct Options {
+    std::string benchDir;
+    std::string baselineDir = std::string(HFPU_SOURCE_DIR) +
+        "/bench/baselines";
+    std::string outDir = ".";
+    double tolerance = 0.05;
+    bool update = false;
+    bool list = false;
+    std::string only;
+    std::string compareBase, compareCur; //!< --compare mode
+};
+
+std::string
+dirName(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << text;
+    return bool(out);
+}
+
+/** Load an artifact and return its parsed JSON (Null on failure). */
+Json
+loadArtifact(const std::string &path, std::string *why)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        *why = "cannot read " + path;
+        return Json();
+    }
+    std::string error;
+    Json value = Json::parse(text, &error);
+    if (value.isNull()) {
+        *why = path + ": " + error;
+        return Json();
+    }
+    return value;
+}
+
+/**
+ * Compare two artifacts' metric maps. Prints violations; returns true
+ * when within tolerance.
+ */
+bool
+compareArtifacts(const std::string &name, const Json &baseline,
+                 const Json &current, double tolerance)
+{
+    const Json *base_metrics = baseline.find("metrics");
+    const Json *cur_metrics = current.find("metrics");
+    if (!base_metrics || !cur_metrics) {
+        std::printf("  %-24s ERROR: artifact missing \"metrics\"\n",
+                    name.c_str());
+        return false;
+    }
+    std::vector<MetricDelta> deltas;
+    const bool ok = hfpu::metrics::compareMetricMaps(
+        *base_metrics, *cur_metrics, tolerance, &deltas);
+    if (ok) {
+        std::printf("  %-24s OK (%zu metrics within %.1f%%)\n",
+                    name.c_str(), base_metrics->size(),
+                    100.0 * tolerance);
+        return true;
+    }
+    std::printf("  %-24s REGRESSION (%zu metric%s out of tolerance)\n",
+                name.c_str(), deltas.size(),
+                deltas.size() == 1 ? "" : "s");
+    for (const MetricDelta &d : deltas) {
+        if (d.missing) {
+            std::printf("    %-48s missing from current run "
+                        "(baseline %.6g)\n",
+                        d.key.c_str(), d.baseline);
+        } else {
+            std::printf("    %-48s %.6g -> %.6g (%+.1f%%)\n",
+                        d.key.c_str(), d.baseline, d.current,
+                        100.0 * (d.current - d.baseline) /
+                            (d.baseline != 0.0 ? d.baseline : 1.0));
+        }
+    }
+    return false;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_regress [--update-baselines] [--only <name>]\n"
+        "                     [--tolerance <frac>] [--bench-dir <dir>]\n"
+        "                     [--baselines <dir>] [--out-dir <dir>]\n"
+        "                     [--compare <baseline> <current>] [--list]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    // Bench binaries live next to this one in the build tree.
+    opt.benchDir = dirName(dirName(argv[0])) + "/bench";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string *out) {
+            if (i + 1 >= argc)
+                return false;
+            *out = argv[++i];
+            return true;
+        };
+        std::string value;
+        if (arg == "--update-baselines") {
+            opt.update = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--only" && next(&value)) {
+            opt.only = value;
+        } else if (arg == "--tolerance" && next(&value)) {
+            opt.tolerance = std::atof(value.c_str());
+            if (opt.tolerance <= 0.0) {
+                std::fprintf(stderr, "bad tolerance: %s\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--bench-dir" && next(&value)) {
+            opt.benchDir = value;
+        } else if (arg == "--baselines" && next(&value)) {
+            opt.baselineDir = value;
+        } else if (arg == "--out-dir" && next(&value)) {
+            opt.outDir = value;
+        } else if (arg == "--compare" && i + 2 < argc) {
+            opt.compareBase = argv[++i];
+            opt.compareCur = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+
+    if (opt.list) {
+        for (const Suite &s : kSuite)
+            std::printf("%s\n", s.name);
+        return 0;
+    }
+
+    // Direct artifact-vs-artifact comparison, no bench runs.
+    if (!opt.compareBase.empty()) {
+        std::string why;
+        const Json base = loadArtifact(opt.compareBase, &why);
+        if (base.isNull()) {
+            std::fprintf(stderr, "error: %s\n", why.c_str());
+            return 2;
+        }
+        const Json cur = loadArtifact(opt.compareCur, &why);
+        if (cur.isNull()) {
+            std::fprintf(stderr, "error: %s\n", why.c_str());
+            return 2;
+        }
+        return compareArtifacts("compare", base, cur, opt.tolerance)
+            ? 0
+            : 1;
+    }
+
+    int failures = 0;
+    int errors = 0;
+    int ran = 0;
+    std::printf("bench_regress: %s (tolerance %.1f%%)\n",
+                opt.update ? "refreshing baselines"
+                           : "checking against baselines",
+                100.0 * opt.tolerance);
+    for (const Suite &s : kSuite) {
+        if (!opt.only.empty() && opt.only != s.name)
+            continue;
+        ++ran;
+        const std::string artifact =
+            opt.outDir + "/BENCH_" + s.name + ".json";
+        std::string cmd = opt.benchDir + "/" + s.name +
+            " --quick --json " + artifact;
+        if (s.args[0])
+            cmd += std::string(" ") + s.args;
+        cmd += " > /dev/null";
+        const int rc = std::system(cmd.c_str());
+        if (rc != 0) {
+            std::printf("  %-24s ERROR: bench exited %d\n", s.name, rc);
+            ++errors;
+            continue;
+        }
+        std::string why;
+        const Json current = loadArtifact(artifact, &why);
+        if (current.isNull()) {
+            std::printf("  %-24s ERROR: %s\n", s.name, why.c_str());
+            ++errors;
+            continue;
+        }
+
+        const std::string baseline_path =
+            opt.baselineDir + "/BENCH_" + s.name + ".json";
+        if (opt.update) {
+            std::string text;
+            readFile(artifact, &text);
+            if (!writeFile(baseline_path, text)) {
+                std::printf("  %-24s ERROR: cannot write %s\n", s.name,
+                            baseline_path.c_str());
+                ++errors;
+                continue;
+            }
+            std::printf("  %-24s baseline updated\n", s.name);
+            continue;
+        }
+
+        const Json baseline = loadArtifact(baseline_path, &why);
+        if (baseline.isNull()) {
+            std::printf("  %-24s ERROR: %s (run with "
+                        "--update-baselines first)\n",
+                        s.name, why.c_str());
+            ++errors;
+            continue;
+        }
+        if (!compareArtifacts(s.name, baseline, current, opt.tolerance))
+            ++failures;
+    }
+
+    // A typo'd --only must not read as "all benches within tolerance".
+    if (ran == 0) {
+        std::fprintf(stderr, "error: no bench named \"%s\" in the "
+                     "suite (see --list)\n", opt.only.c_str());
+        return 2;
+    }
+    if (errors)
+        return 2;
+    if (failures) {
+        std::printf("bench_regress: %d bench%s regressed\n", failures,
+                    failures == 1 ? "" : "es");
+        return 1;
+    }
+    if (!opt.update)
+        std::printf("bench_regress: all benches within tolerance\n");
+    return 0;
+}
