@@ -94,6 +94,94 @@ BM_PrecisionScalarMulReduced(benchmark::State &state)
 }
 BENCHMARK(BM_PrecisionScalarMulReduced)->Arg(23)->Arg(5);
 
+/**
+ * Scalar-op dispatch throughput: 1024 dependent fmul+fadd chains per
+ * iteration over four independent accumulators, one DoNotOptimize per
+ * iteration, so the measured cost is the ops themselves rather than
+ * benchmark-harness overhead. The four variants pin down the two-tier
+ * dispatch gap that tools/bench_regress's perf job tracks:
+ *   Plain      — full precision, host FPU, no recorder (inline path)
+ *   ForcedSlow — same settings routed through the out-of-line modeled
+ *                path (the pre-fast-path dispatch cost)
+ *   Reduced    — 5-bit mantissa (reduce -> execute -> reduce)
+ *   Recorder   — full precision with an observer attached
+ */
+template <typename Setup>
+void
+scalarThroughputLoop(benchmark::State &state, Setup setup)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.reset();
+    setup(ctx);
+    const auto ops = randomOperands(1024, 120, 134);
+    std::vector<std::pair<float, float>> vals;
+    vals.reserve(ops.size());
+    for (const auto &[a, b] : ops) {
+        vals.emplace_back(fp::floatFromBits(a) * 0.5f + 1.0f,
+                          fp::floatFromBits(b) * 1e-6f);
+    }
+    float acc0 = 1.0f, acc1 = 1.01f, acc2 = 1.02f, acc3 = 1.03f;
+    for (auto _ : state) {
+        for (size_t i = 0; i < vals.size(); i += 4) {
+            acc0 = fp::fadd(fp::fmul(acc0, vals[i].first),
+                            vals[i].second);
+            acc1 = fp::fadd(fp::fmul(acc1, vals[i + 1].first),
+                            vals[i + 1].second);
+            acc2 = fp::fadd(fp::fmul(acc2, vals[i + 2].first),
+                            vals[i + 2].second);
+            acc3 = fp::fadd(fp::fmul(acc3, vals[i + 3].first),
+                            vals[i + 3].second);
+        }
+        benchmark::DoNotOptimize(acc0 += acc1 + acc2 + acc3);
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+    ctx.reset();
+}
+
+void
+BM_ScalarThroughputPlain(benchmark::State &state)
+{
+    scalarThroughputLoop(state, [](fp::PrecisionContext &) {});
+}
+BENCHMARK(BM_ScalarThroughputPlain);
+
+void
+BM_ScalarThroughputForcedSlow(benchmark::State &state)
+{
+    scalarThroughputLoop(state, [](fp::PrecisionContext &ctx) {
+        ctx.setForceSlowPath(true);
+    });
+}
+BENCHMARK(BM_ScalarThroughputForcedSlow);
+
+void
+BM_ScalarThroughputReduced(benchmark::State &state)
+{
+    scalarThroughputLoop(state, [](fp::PrecisionContext &ctx) {
+        ctx.setAllMantissaBits(5);
+    });
+}
+BENCHMARK(BM_ScalarThroughputReduced);
+
+/** Observer that only defeats dead-code elimination. */
+class CountingRecorder : public fp::OpRecorder
+{
+  public:
+    void record(const fp::OpRecord &rec) override { bits ^= rec.result; }
+    uint32_t bits = 0;
+};
+
+void
+BM_ScalarThroughputRecorder(benchmark::State &state)
+{
+    CountingRecorder recorder;
+    scalarThroughputLoop(state, [&](fp::PrecisionContext &ctx) {
+        ctx.setRecorder(&recorder);
+    });
+    benchmark::DoNotOptimize(recorder.bits);
+}
+BENCHMARK(BM_ScalarThroughputRecorder);
+
 void
 BM_TrivialCheckReduced(benchmark::State &state)
 {

@@ -9,23 +9,18 @@
 namespace hfpu {
 namespace fp {
 
-PrecisionContext::PrecisionContext()
-{
-    reset();
-}
+namespace detail {
 
-PrecisionContext &
-PrecisionContext::current()
-{
-    static thread_local PrecisionContext ctx;
-    return ctx;
-}
+constinit thread_local PrecisionContext g_ctx;
+
+} // namespace detail
 
 void
 PrecisionContext::setMantissaBits(Phase phase, int bits)
 {
     assert(bits >= 0 && bits <= kFullMantissaBits);
     mantissaBits_[static_cast<int>(phase)] = bits;
+    refreshMode();
 }
 
 void
@@ -33,6 +28,7 @@ PrecisionContext::setAllMantissaBits(int bits)
 {
     assert(bits >= 0 && bits <= kFullMantissaBits);
     mantissaBits_.fill(bits);
+    refreshMode();
 }
 
 uint64_t
@@ -57,6 +53,8 @@ PrecisionContext::reset()
     phase_ = Phase::Other;
     recorder_ = nullptr;
     useSoftFloat_ = false;
+    forceSlowPath_ = false;
+    refreshMode();
 }
 
 ScopedFullPrecision::ScopedFullPrecision()
@@ -100,68 +98,46 @@ isReducible(Opcode op)
     return op == Opcode::Add || op == Opcode::Sub || op == Opcode::Mul;
 }
 
-/**
- * The reduce -> execute -> reduce pipeline shared by all scalar ops.
- */
+} // namespace
+
+namespace detail {
+
 float
-executeScalar(Opcode op, float fa, float fb)
+executeScalarSlow(Opcode op, float fa, float fb)
 {
     PrecisionContext &ctx = PrecisionContext::current();
     ctx.countOp(op);
 
     uint32_t a = floatBits(fa);
     uint32_t b = floatBits(fb);
-    const int bits = ctx.activeBits();
+    const uint32_t mode = ctx.execMode();
+    const int bits =
+        static_cast<int>(mode & PrecisionContext::kModeBitsMask);
+    const auto rounding = static_cast<RoundingMode>(
+        (mode >> PrecisionContext::kModeRoundShift) &
+        PrecisionContext::kModeRoundMask);
     const bool reduce_op = bits < kFullMantissaBits && isReducible(op);
     if (reduce_op) {
-        a = reduceMantissa(a, bits, ctx.roundingMode());
-        b = reduceMantissa(b, bits, ctx.roundingMode());
+        a = reduceMantissa(a, bits, rounding);
+        b = reduceMantissa(b, bits, rounding);
     }
-    uint32_t r = ctx.useSoftFloat() ? soft::executeBits(op, a, b)
-                                    : hostExecuteBits(op, a, b);
+    uint32_t r = (mode & PrecisionContext::kModeSoftFloat)
+        ? soft::executeBits(op, a, b)
+        : hostExecuteBits(op, a, b);
     if (reduce_op)
-        r = reduceMantissa(r, bits, ctx.roundingMode());
+        r = reduceMantissa(r, bits, rounding);
 
-    if (OpRecorder *rec = ctx.recorder()) {
-        rec->record(OpRecord{op, ctx.phase(),
-                             static_cast<uint8_t>(reduce_op ?
-                                 bits : kFullMantissaBits),
-                             a, b, r});
+    if (mode & PrecisionContext::kModeRecorder) {
+        ctx.recorder()->record(OpRecord{op, ctx.phase(),
+                                        static_cast<uint8_t>(
+                                            reduce_op ? bits
+                                                      : kFullMantissaBits),
+                                        a, b, r});
     }
     return floatFromBits(r);
 }
 
-} // namespace
-
-float
-fadd(float a, float b)
-{
-    return executeScalar(Opcode::Add, a, b);
-}
-
-float
-fsub(float a, float b)
-{
-    return executeScalar(Opcode::Sub, a, b);
-}
-
-float
-fmul(float a, float b)
-{
-    return executeScalar(Opcode::Mul, a, b);
-}
-
-float
-fdiv(float a, float b)
-{
-    return executeScalar(Opcode::Div, a, b);
-}
-
-float
-fsqrt(float a)
-{
-    return executeScalar(Opcode::Sqrt, a, 0.0f);
-}
+} // namespace detail
 
 } // namespace fp
 } // namespace hfpu

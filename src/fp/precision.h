@@ -15,9 +15,24 @@
  * modeled as round(operands) -> execute -> round(result). Following the
  * paper, only add, subtract, and multiply are precision reduced; divide
  * (and sqrt) always run at full precision.
+ *
+ * Dispatch is two-tier. The context caches an execution-mode descriptor
+ * that is refreshed on every mutation (setPhase / setMantissaBits /
+ * setRecorder / ...), so the scalar entry points below compile down to
+ * one predictable branch on a cached "plain mode" flag plus native FP
+ * and a counter bump whenever the current phase runs at full precision
+ * on the host FPU with no recorder attached — the common case for every
+ * Release bench and the paper's baseline configurations. Reduction,
+ * soft-float execution, and recording live in the out-of-line slow path
+ * (detail::executeScalarSlow), which reads the same packed descriptor
+ * in a single load. Defining HFPU_FORCE_SLOWPATH at build time (CMake
+ * option of the same name), or calling setForceSlowPath(true) at run
+ * time, routes every op through the slow path; results and statistics
+ * are bit-identical either way, which the tests assert.
  */
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 #include "rounding.h"
@@ -49,6 +64,20 @@ class OpRecorder
     virtual void record(const OpRecord &rec) = 0;
 };
 
+namespace detail {
+
+/** constexpr-fill helper so the context can be constant-initialized. */
+constexpr std::array<int, kNumPhases>
+filledBits(int value)
+{
+    std::array<int, kNumPhases> bits{};
+    for (int &b : bits)
+        b = value;
+    return bits;
+}
+
+} // namespace detail
+
 /**
  * Thread-local floating-point execution state.
  *
@@ -62,7 +91,7 @@ class OpRecorder
 class PrecisionContext
 {
   public:
-    PrecisionContext();
+    constexpr PrecisionContext() = default;
 
     /** The calling thread's context. */
     static PrecisionContext &current();
@@ -81,15 +110,30 @@ class PrecisionContext
 
     /** Active rounding mode for reductions. */
     RoundingMode roundingMode() const { return roundingMode_; }
-    void setRoundingMode(RoundingMode mode) { roundingMode_ = mode; }
+    void
+    setRoundingMode(RoundingMode mode)
+    {
+        roundingMode_ = mode;
+        refreshMode();
+    }
 
     /** Current pipeline phase. */
     Phase phase() const { return phase_; }
-    void setPhase(Phase phase) { phase_ = phase; }
+    void
+    setPhase(Phase phase)
+    {
+        phase_ = phase;
+        refreshMode();
+    }
 
     /** Optional dynamic-op observer (nullptr = none). */
     OpRecorder *recorder() const { return recorder_; }
-    void setRecorder(OpRecorder *recorder) { recorder_ = recorder; }
+    void
+    setRecorder(OpRecorder *recorder)
+    {
+        recorder_ = recorder;
+        refreshMode();
+    }
 
     /**
      * When set, exact execution uses the project's soft-float instead of
@@ -97,7 +141,27 @@ class PrecisionContext
      * exists for cross-checking).
      */
     bool useSoftFloat() const { return useSoftFloat_; }
-    void setUseSoftFloat(bool use) { useSoftFloat_ = use; }
+    void
+    setUseSoftFloat(bool use)
+    {
+        useSoftFloat_ = use;
+        refreshMode();
+    }
+
+    /**
+     * Runtime escape hatch mirroring the HFPU_FORCE_SLOWPATH build
+     * option: route every scalar op through the out-of-line modeled
+     * path even when plain-mode execution would be legal. Results and
+     * statistics are bit-identical; this exists so one binary can
+     * cross-check the two dispatch tiers against each other.
+     */
+    bool forceSlowPath() const { return forceSlowPath_; }
+    void
+    setForceSlowPath(bool force)
+    {
+        forceSlowPath_ = force;
+        refreshMode();
+    }
 
     /** Dynamic FP operation counts by opcode (since last reset). */
     uint64_t opCount(Opcode op) const
@@ -110,12 +174,46 @@ class PrecisionContext
     /** Restore defaults: full precision, jamming, no recorder. */
     void reset();
 
+    /** @name Packed execution-mode descriptor.
+     * Active mantissa bits, rounding mode, and the soft-float /
+     * recorder flags folded into one word so the slow path needs a
+     * single load where it used to chase five fields.
+     */
+    /** @{ */
+    static constexpr uint32_t kModeBitsMask = 0x1fu;  //!< active bits
+    static constexpr int kModeRoundShift = 5;         //!< rounding mode
+    static constexpr uint32_t kModeRoundMask = 0x3u;
+    static constexpr uint32_t kModeSoftFloat = 1u << 7;
+    static constexpr uint32_t kModeRecorder = 1u << 8;
+
+    static constexpr uint32_t
+    packMode(int bits, RoundingMode mode, bool soft, bool rec)
+    {
+        return static_cast<uint32_t>(bits) |
+            (static_cast<uint32_t>(mode) << kModeRoundShift) |
+            (soft ? kModeSoftFloat : 0u) | (rec ? kModeRecorder : 0u);
+    }
+    /** @} */
+
     /** @name Hot-path helpers used by the scalar ops. */
     /** @{ */
     int activeBits() const
     {
-        return mantissaBits_[static_cast<int>(phase_)];
+        return static_cast<int>(mode_ & kModeBitsMask);
     }
+    /**
+     * Cached: the current phase runs at full precision on the host FPU
+     * with no recorder — add/sub/mul may execute natively inline.
+     */
+    bool plainMode() const { return plain_; }
+    /**
+     * Cached: execution is exact host arithmetic with no recorder
+     * (active width ignored) — div/sqrt, which the paper never
+     * reduces, may execute natively inline.
+     */
+    bool plainExact() const { return plainExact_; }
+    /** The packed descriptor consumed by the slow path. */
+    uint32_t execMode() const { return mode_; }
     void
     countOp(Opcode op)
     {
@@ -124,13 +222,55 @@ class PrecisionContext
     /** @} */
 
   private:
-    std::array<int, kNumPhases> mantissaBits_;
-    std::array<uint64_t, kNumOpcodes> opCounts_;
-    RoundingMode roundingMode_;
-    Phase phase_;
-    OpRecorder *recorder_;
-    bool useSoftFloat_;
+    /** Re-derive the cached descriptor after any mutation. */
+    void
+    refreshMode()
+    {
+        const int bits = mantissaBits_[static_cast<int>(phase_)];
+        mode_ = packMode(bits, roundingMode_, useSoftFloat_,
+                         recorder_ != nullptr);
+        plainExact_ = !forceSlowPath_ && !useSoftFloat_ &&
+            recorder_ == nullptr;
+        plain_ = plainExact_ && bits == kFullMantissaBits;
+    }
+
+    std::array<int, kNumPhases> mantissaBits_ =
+        detail::filledBits(kFullMantissaBits);
+    std::array<uint64_t, kNumOpcodes> opCounts_{};
+    RoundingMode roundingMode_ = RoundingMode::Jamming;
+    Phase phase_ = Phase::Other;
+    OpRecorder *recorder_ = nullptr;
+    bool useSoftFloat_ = false;
+    bool forceSlowPath_ = false;
+    bool plain_ = true;
+    bool plainExact_ = true;
+    uint32_t mode_ =
+        packMode(kFullMantissaBits, RoundingMode::Jamming, false, false);
 };
+
+namespace detail {
+
+/**
+ * The calling thread's context. Constant-initialized (constexpr
+ * constructor + constinit) so access from the inline scalar ops is a
+ * plain TLS load with no initialization guard.
+ */
+extern constinit thread_local PrecisionContext g_ctx;
+
+/**
+ * Out-of-line modeled path: reduce -> execute -> reduce, soft-float
+ * substrate, and op recording. Entered only when the cached plain-mode
+ * flags rule out native inline execution (or when forced).
+ */
+float executeScalarSlow(Opcode op, float a, float b);
+
+} // namespace detail
+
+inline PrecisionContext &
+PrecisionContext::current()
+{
+    return detail::g_ctx;
+}
 
 /**
  * RAII phase scope: tags all FP ops inside the scope with @p phase.
@@ -173,14 +313,77 @@ class ScopedFullPrecision
 };
 
 /** @name Precision-aware scalar operations.
- * The only arithmetic entry points the engine uses.
+ * The only arithmetic entry points the engine uses. In plain mode they
+ * compile to native FP plus a counter bump; everything modeled goes
+ * through the out-of-line slow path.
  */
 /** @{ */
-float fadd(float a, float b);
-float fsub(float a, float b);
-float fmul(float a, float b);
-float fdiv(float a, float b);
-float fsqrt(float a);
+inline float
+fadd(float a, float b)
+{
+#if !defined(HFPU_FORCE_SLOWPATH)
+    PrecisionContext &ctx = PrecisionContext::current();
+    if (ctx.plainMode()) [[likely]] {
+        ctx.countOp(Opcode::Add);
+        return a + b;
+    }
+#endif
+    return detail::executeScalarSlow(Opcode::Add, a, b);
+}
+
+inline float
+fsub(float a, float b)
+{
+#if !defined(HFPU_FORCE_SLOWPATH)
+    PrecisionContext &ctx = PrecisionContext::current();
+    if (ctx.plainMode()) [[likely]] {
+        ctx.countOp(Opcode::Sub);
+        return a - b;
+    }
+#endif
+    return detail::executeScalarSlow(Opcode::Sub, a, b);
+}
+
+inline float
+fmul(float a, float b)
+{
+#if !defined(HFPU_FORCE_SLOWPATH)
+    PrecisionContext &ctx = PrecisionContext::current();
+    if (ctx.plainMode()) [[likely]] {
+        ctx.countOp(Opcode::Mul);
+        return a * b;
+    }
+#endif
+    return detail::executeScalarSlow(Opcode::Mul, a, b);
+}
+
+inline float
+fdiv(float a, float b)
+{
+#if !defined(HFPU_FORCE_SLOWPATH)
+    // Divide is never reduced, so the inline path only needs exact
+    // host execution and no recorder — the active width is irrelevant.
+    PrecisionContext &ctx = PrecisionContext::current();
+    if (ctx.plainExact()) [[likely]] {
+        ctx.countOp(Opcode::Div);
+        return a / b;
+    }
+#endif
+    return detail::executeScalarSlow(Opcode::Div, a, b);
+}
+
+inline float
+fsqrt(float a)
+{
+#if !defined(HFPU_FORCE_SLOWPATH)
+    PrecisionContext &ctx = PrecisionContext::current();
+    if (ctx.plainExact()) [[likely]] {
+        ctx.countOp(Opcode::Sqrt);
+        return std::sqrt(a);
+    }
+#endif
+    return detail::executeScalarSlow(Opcode::Sqrt, a, 0.0f);
+}
 /** @} */
 
 } // namespace fp

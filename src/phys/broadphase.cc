@@ -5,34 +5,57 @@
 namespace hfpu {
 namespace phys {
 
-std::vector<BodyPair>
-sweepAndPrune(const std::vector<RigidBody> &bodies, float margin)
+const std::vector<BodyPair> &
+SweepAndPrune::computePairs(const std::vector<RigidBody> &bodies,
+                            float margin)
 {
-    struct Interval {
-        float minX, maxX;
-        Aabb box;
-        BodyId id;
-    };
-
-    std::vector<Interval> intervals;
-    intervals.reserve(bodies.size());
     const Vec3 m{margin, margin, margin};
-    for (BodyId i = 0; i < static_cast<BodyId>(bodies.size()); ++i) {
-        Aabb box = bodies[i].aabb();
-        box.min -= m;
-        box.max += m;
-        intervals.push_back({box.min.x, box.max.x, box, i});
-    }
-    std::sort(intervals.begin(), intervals.end(),
-              [](const Interval &a, const Interval &b) {
-                  return a.minX < b.minX;
-              });
 
-    std::vector<BodyPair> pairs;
-    for (size_t i = 0; i < intervals.size(); ++i) {
-        const Interval &a = intervals[i];
-        for (size_t j = i + 1; j < intervals.size(); ++j) {
-            const Interval &b = intervals[j];
+    if (intervals_.size() != bodies.size()) {
+        // Body set changed (BodyIds are dense indices, so a same-size
+        // vector can only carry updated state for the same ids, which
+        // the refresh below handles): rebuild and sort from scratch.
+        intervals_.clear();
+        intervals_.reserve(bodies.size());
+        for (BodyId i = 0; i < static_cast<BodyId>(bodies.size()); ++i) {
+            Aabb box = bodies[i].aabb();
+            box.min -= m;
+            box.max += m;
+            intervals_.push_back({box.min.x, box.max.x, box, i});
+        }
+        std::sort(intervals_.begin(), intervals_.end(), before);
+    } else {
+        // Refresh every interval in place, then repair the ordering
+        // with one insertion-sort pass: temporal coherence keeps the
+        // array nearly sorted, so this is O(n + inversions). The
+        // (minX, id) total order makes the repaired sequence identical
+        // to what a from-scratch sort would produce.
+        for (Interval &iv : intervals_) {
+            Aabb box = bodies[iv.id].aabb();
+            box.min -= m;
+            box.max += m;
+            iv.minX = box.min.x;
+            iv.maxX = box.max.x;
+            iv.box = box;
+        }
+        for (size_t i = 1; i < intervals_.size(); ++i) {
+            if (!before(intervals_[i], intervals_[i - 1]))
+                continue;
+            const Interval key = intervals_[i];
+            size_t j = i;
+            do {
+                intervals_[j] = intervals_[j - 1];
+                --j;
+            } while (j > 0 && before(key, intervals_[j - 1]));
+            intervals_[j] = key;
+        }
+    }
+
+    pairs_.clear();
+    for (size_t i = 0; i < intervals_.size(); ++i) {
+        const Interval &a = intervals_[i];
+        for (size_t j = i + 1; j < intervals_.size(); ++j) {
+            const Interval &b = intervals_[j];
             if (b.minX > a.maxX)
                 break; // sorted: no later interval can overlap
             const RigidBody &ba = bodies[a.id];
@@ -48,11 +71,18 @@ sweepAndPrune(const std::vector<RigidBody> &bodies, float margin)
             if (!a.box.overlaps(b.box))
                 continue;
             // Canonical order keeps narrow-phase dispatch simple.
-            pairs.push_back(a.id < b.id ? BodyPair{a.id, b.id}
-                                        : BodyPair{b.id, a.id});
+            pairs_.push_back(a.id < b.id ? BodyPair{a.id, b.id}
+                                         : BodyPair{b.id, a.id});
         }
     }
-    return pairs;
+    return pairs_;
+}
+
+std::vector<BodyPair>
+sweepAndPrune(const std::vector<RigidBody> &bodies, float margin)
+{
+    SweepAndPrune sweep;
+    return sweep.computePairs(bodies, margin);
 }
 
 } // namespace phys

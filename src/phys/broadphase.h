@@ -7,6 +7,20 @@
  * x axis, with full y/z AABB rejection. Static-static pairs are never
  * emitted, and pairs where both bodies sleep are skipped (nothing can
  * change between them).
+ *
+ * The sweep is incremental: a persistent SweepAndPrune instance keeps
+ * the interval array sorted across steps and repairs it with a single
+ * insertion-sort pass (temporal coherence leaves it nearly sorted), so
+ * the per-step cost is O(n + inversions) instead of O(n log n). The
+ * array is rebuilt from scratch only when the body set changes.
+ * Ordering uses a strict total order (minX, ties broken by the unique
+ * BodyId), so the sorted sequence — and therefore the emitted pair
+ * sequence — is a pure function of the body state: identical between
+ * the incremental and the from-scratch path, across platforms, and
+ * across rebuild/repair histories (the seed's minX-only std::sort left
+ * tie arrangements to the sort implementation, which an incremental
+ * repair cannot reproduce and other standard libraries would not
+ * match).
  */
 
 #include <vector>
@@ -17,11 +31,42 @@
 namespace hfpu {
 namespace phys {
 
+/** Persistent sort-and-sweep state (one instance per world). */
+class SweepAndPrune
+{
+  public:
+    /**
+     * Compute candidate pairs for the narrow phase. The returned
+     * reference stays valid until the next call.
+     *
+     * @param bodies all bodies in the world (index == BodyId)
+     * @param margin AABB inflation applied on each side
+     */
+    const std::vector<BodyPair> &
+    computePairs(const std::vector<RigidBody> &bodies,
+                 float margin = 0.01f);
+
+  private:
+    struct Interval {
+        float minX, maxX;
+        Aabb box;
+        BodyId id;
+    };
+
+    /** Strict total order: minX, ties broken by the unique BodyId. */
+    static bool
+    before(const Interval &a, const Interval &b)
+    {
+        return a.minX < b.minX || (a.minX == b.minX && a.id < b.id);
+    }
+
+    std::vector<Interval> intervals_;
+    std::vector<BodyPair> pairs_;
+};
+
 /**
- * Compute candidate pairs for the narrow phase.
- *
- * @param bodies all bodies in the world (index == BodyId)
- * @param margin AABB inflation applied on each side
+ * One-shot convenience wrapper: from-scratch sweep over @p bodies.
+ * Tests use it as the reference the incremental path must match.
  */
 std::vector<BodyPair> sweepAndPrune(const std::vector<RigidBody> &bodies,
                                     float margin = 0.01f);

@@ -1,5 +1,7 @@
 #include "phys/parallel.h"
 
+#include <algorithm>
+
 #include "fp/precision.h"
 
 namespace hfpu {
@@ -38,7 +40,8 @@ struct WorkerPool::ContextSnapshot {
 WorkerPool::WorkerPool(int threads)
     : snapshot_(std::make_unique<ContextSnapshot>())
 {
-    const int workers = threads > 1 ? threads - 1 : 0;
+    // A nonsensical count degrades to serial, matching World's clamp.
+    const int workers = std::max(threads, 1) - 1;
     workers_.reserve(workers);
     for (int i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -71,9 +74,12 @@ WorkerPool::workerLoop()
         const std::function<void(int)> *fn = fn_;
         ++active_;
         while (fn != nullptr && next_ < batchSize_) {
-            const int index = next_++;
+            const int begin = next_;
+            const int end = std::min(batchSize_, begin + grain_);
+            next_ = end;
             lock.unlock();
-            (*fn)(index);
+            for (int i = begin; i < end; ++i)
+                (*fn)(i);
             lock.lock();
         }
         --active_;
@@ -83,22 +89,39 @@ WorkerPool::workerLoop()
 }
 
 void
-WorkerPool::parallelFor(int n, const std::function<void(int)> &fn)
+WorkerPool::parallelFor(int n, const std::function<void(int)> &fn,
+                        int grain)
 {
     if (n <= 0)
         return;
+    if (grain <= 0) {
+        // Several chunks per thread so the dynamic queue still load
+        // balances unevenly sized tasks.
+        grain = std::max(1, n / (threads() * 4));
+    }
+    // Serial early-out: no workers to share with, or the whole batch
+    // fits in one grain — run on the caller, never touching the mutex.
+    if (workers_.empty() || n <= grain || n == 1) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
     std::unique_lock<std::mutex> lock(mutex_);
     *snapshot_ = ContextSnapshot::capture();
     fn_ = &fn;
     batchSize_ = n;
     next_ = 0;
+    grain_ = grain;
     ++generation_;
     wake_.notify_all();
     // The submitting thread works too.
     while (next_ < batchSize_) {
-        const int index = next_++;
+        const int begin = next_;
+        const int end = std::min(batchSize_, begin + grain_);
+        next_ = end;
         lock.unlock();
-        fn(index);
+        for (int i = begin; i < end; ++i)
+            fn(i);
         lock.lock();
     }
     done_.wait(lock, [&] { return active_ == 0; });

@@ -10,6 +10,12 @@
  * for the two massively parallel phases: narrow-phase pairs and
  * per-island LCP solves.
  *
+ * Work is claimed in index *chunks* of a grain size rather than one
+ * index per mutex round-trip, so the per-task overhead is amortized;
+ * degenerate batches (empty, single-task, or smaller than one grain)
+ * run serially on the caller without ever touching the mutex or
+ * condition variables.
+ *
  * Floating-point state: the PrecisionContext is thread-local, so each
  * batch captures the caller's precision settings and installs them in
  * every worker before it executes tasks, keeping reduced-precision
@@ -30,7 +36,10 @@ namespace phys {
 class WorkerPool
 {
   public:
-    /** @param threads worker count (>= 1; the caller also works). */
+    /**
+     * @param threads worker count (the caller also works). Values
+     *                below 1 are clamped to 1 (serial).
+     */
     explicit WorkerPool(int threads);
     ~WorkerPool();
 
@@ -38,12 +47,17 @@ class WorkerPool
     WorkerPool &operator=(const WorkerPool &) = delete;
 
     /**
-     * Run fn(0..n-1) across the pool (work-queue order, dynamically
-     * claimed). Blocks until all tasks finish. The caller's
+     * Run fn(0..n-1) across the pool (work-queue order, chunks claimed
+     * dynamically). Blocks until all tasks finish. The caller's
      * PrecisionContext settings are replicated into each worker for
      * the duration of the batch. Tasks must be independent.
+     *
+     * @param grain indices claimed per mutex round-trip; <= 0 picks a
+     *              size that yields several chunks per thread. Batches
+     *              no larger than one grain run serially on the caller.
      */
-    void parallelFor(int n, const std::function<void(int)> &fn);
+    void parallelFor(int n, const std::function<void(int)> &fn,
+                     int grain = 0);
 
     int threads() const { return static_cast<int>(workers_.size()) + 1; }
 
@@ -59,6 +73,7 @@ class WorkerPool
     const std::function<void(int)> *fn_ = nullptr;
     int batchSize_ = 0;
     int next_ = 0;
+    int grain_ = 1;
     int active_ = 0;
     uint64_t generation_ = 0;
     bool stop_ = false;

@@ -44,6 +44,8 @@ class IterationForwarder : public SolveObserver
 
 World::World(const WorldConfig &config) : config_(config)
 {
+    if (config_.threads < 1)
+        config_.threads = 1; // clamp to serial
     if (config_.threads > 1)
         pool_ = std::make_unique<WorkerPool>(config_.threads);
 }
@@ -94,12 +96,13 @@ World::runPhases()
         applyForces();
     }
 
-    std::vector<BodyPair> pairs;
+    const std::vector<BodyPair> *pairs_ptr = nullptr;
     {
         ScopedPhase broad(Phase::Broad);
         metrics::ScopedTimer timer(registry, "phys/broad");
-        pairs = sweepAndPrune(bodies_);
+        pairs_ptr = &broadphase_.computePairs(bodies_);
     }
+    const std::vector<BodyPair> &pairs = *pairs_ptr;
     lastPairCount_ = static_cast<int>(pairs.size());
     registry.count("phys/pairs", pairs.size());
 

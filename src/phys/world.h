@@ -107,12 +107,14 @@ class World
     }
 
     /**
-     * Reconfigure the worker pool after construction (1 = serial).
-     * Must not be called mid-step.
+     * Reconfigure the worker pool after construction (values below 1
+     * are clamped to 1 = serial). Must not be called mid-step.
      */
     void
     setThreads(int threads)
     {
+        if (threads < 1)
+            threads = 1;
         config_.threads = threads;
         pool_ = threads > 1 ? std::make_unique<WorkerPool>(threads)
                             : nullptr;
@@ -185,6 +187,7 @@ class World
 
     WorldConfig config_;
     std::unique_ptr<WorkerPool> pool_;
+    SweepAndPrune broadphase_;
     std::vector<RigidBody> bodies_;
     std::vector<std::unique_ptr<Joint>> joints_;
     PrecisionController *controller_ = nullptr;

@@ -147,4 +147,112 @@ TEST(Broadphase, MatchesBruteForceOnRandomScenes)
     }
 }
 
+std::vector<std::pair<BodyId, BodyId>>
+pairList(const std::vector<BodyPair> &pairs)
+{
+    std::vector<std::pair<BodyId, BodyId>> out;
+    for (const BodyPair &p : pairs)
+        out.emplace_back(p.a, p.b);
+    return out;
+}
+
+/**
+ * The incremental sweep must emit the exact pair sequence a
+ * from-scratch sweep produces — not just the same set — because the
+ * narrow phase's work-unit order (and thus the trace stream) follows
+ * it. The (minX, id) total order makes that sequence a pure function
+ * of body state, so equality is exact.
+ */
+TEST(IncrementalBroadphase, TracksMovingBodiesAcrossSteps)
+{
+    std::mt19937 rng(123);
+    std::uniform_real_distribution<float> pos(-4.0f, 4.0f);
+    std::uniform_real_distribution<float> vel(-0.3f, 0.3f);
+    std::vector<RigidBody> bodies;
+    std::vector<hfpu::math::Vec3> vels;
+    for (int i = 0; i < 32; ++i) {
+        bodies.push_back(RigidBody(Shape::sphere(0.4f), 1.0f,
+                                   {pos(rng), pos(rng), pos(rng)}));
+        vels.push_back({vel(rng), vel(rng), vel(rng)});
+    }
+    SweepAndPrune sweep;
+    for (int step = 0; step < 60; ++step) {
+        for (int i = 0; i < 32; ++i)
+            bodies[i].pos += vels[i]; // plenty of order inversions
+        const auto incremental = pairList(sweep.computePairs(bodies));
+        const auto scratch = pairList(sweepAndPrune(bodies));
+        ASSERT_EQ(incremental, scratch) << "step " << step;
+    }
+}
+
+TEST(IncrementalBroadphase, RebuildsWhenBodiesAddedAndRemoved)
+{
+    std::mt19937 rng(321);
+    std::uniform_real_distribution<float> pos(-3.0f, 3.0f);
+    std::vector<RigidBody> bodies;
+    SweepAndPrune sweep;
+    for (int step = 0; step < 40; ++step) {
+        if (step % 5 == 0) {
+            bodies.push_back(RigidBody(Shape::box({0.3f, 0.3f, 0.3f}),
+                                       1.0f,
+                                       {pos(rng), pos(rng), pos(rng)}));
+        }
+        if (step % 11 == 10 && !bodies.empty())
+            bodies.pop_back(); // BodyIds stay dense indices
+        for (auto &b : bodies)
+            b.pos.x += 0.05f;
+        ASSERT_EQ(pairList(sweep.computePairs(bodies)),
+                  pairList(sweepAndPrune(bodies)))
+            << "step " << step;
+    }
+}
+
+TEST(IncrementalBroadphase, HandlesSleepAndWakeChurn)
+{
+    std::mt19937 rng(55);
+    std::uniform_real_distribution<float> pos(-2.0f, 2.0f);
+    std::vector<RigidBody> bodies;
+    bodies.push_back(RigidBody::makeStatic(
+        Shape::plane({0, 1, 0}, 0.0f), {}));
+    for (int i = 0; i < 20; ++i) {
+        bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                                   {pos(rng), pos(rng) + 2.5f,
+                                    pos(rng)}));
+    }
+    SweepAndPrune sweep;
+    std::uniform_int_distribution<size_t> pick(1, bodies.size() - 1);
+    for (int step = 0; step < 50; ++step) {
+        // Toggle sleep state on a random body and jitter another.
+        RigidBody &toggled = bodies[pick(rng)];
+        if (toggled.asleep())
+            toggled.wake();
+        else
+            toggled.sleep();
+        bodies[pick(rng)].pos.y += 0.1f;
+        ASSERT_EQ(pairList(sweep.computePairs(bodies)),
+                  pairList(sweepAndPrune(bodies)))
+            << "step " << step;
+    }
+}
+
+TEST(IncrementalBroadphase, ExactTiesRepairDeterministically)
+{
+    // Bodies deliberately stacked on identical minX: the (minX, id)
+    // total order must keep ties in id order through both the scratch
+    // sort and the incremental repair.
+    std::vector<RigidBody> bodies;
+    for (int i = 0; i < 8; ++i) {
+        bodies.push_back(RigidBody(Shape::sphere(0.5f), 1.0f,
+                                   {0.0f, 1.2f * i, 0.0f}));
+    }
+    SweepAndPrune sweep;
+    for (int step = 0; step < 10; ++step) {
+        // Swap two columns' heights each step; minX stays tied at 0.
+        bodies[step % 8].pos.y += 0.01f;
+        ASSERT_EQ(pairList(sweep.computePairs(bodies)),
+                  pairList(sweepAndPrune(bodies)))
+            << "step " << step;
+    }
+}
+
 } // namespace

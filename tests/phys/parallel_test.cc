@@ -66,6 +66,49 @@ TEST(WorkerPool, SingleThreadDegradesToSerial)
     EXPECT_EQ(order_errors, 0); // caller executes in order when alone
 }
 
+TEST(WorkerPool, ClampsNonsensicalThreadCountsToSerial)
+{
+    WorkerPool zero(0);
+    EXPECT_EQ(zero.threads(), 1);
+    WorkerPool negative(-3);
+    EXPECT_EQ(negative.threads(), 1);
+    std::atomic<int> count{0};
+    negative.parallelFor(10, [&](int) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(WorkerPool, ExplicitGrainRunsEveryIndexOnce)
+{
+    WorkerPool pool(4);
+    for (int grain : {1, 3, 7, 100, 1000}) {
+        std::vector<std::atomic<int>> hits(97);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(97, [&](int i) { ++hits[i]; }, grain);
+        for (int i = 0; i < 97; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "grain " << grain
+                                         << " index " << i;
+    }
+}
+
+TEST(World, SetThreadsClampsToSerial)
+{
+    WorldConfig cfg;
+    cfg.threads = -2; // ctor clamp
+    World world(cfg);
+    EXPECT_EQ(world.config().threads, 1);
+    world.setThreads(0); // setter clamp
+    EXPECT_EQ(world.config().threads, 1);
+    world.setThreads(4);
+    EXPECT_EQ(world.config().threads, 4);
+    // A clamped world must still step.
+    world.setThreads(-1);
+    world.addBody(RigidBody(Shape::sphere(0.3f), 1.0f,
+                            {0.0f, 2.0f, 0.0f}));
+    world.step();
+    EXPECT_TRUE(world.stateFinite());
+}
+
 TEST(WorkerPool, PropagatesPrecisionContextToWorkers)
 {
     auto &ctx = fp::PrecisionContext::current();

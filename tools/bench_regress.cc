@@ -176,7 +176,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: bench_regress [--update-baselines] [--only <name>]\n"
+        "usage: bench_regress [--update-baselines] [--quick]\n"
+        "                     [--only <name>]\n"
         "                     [--tolerance <frac>] [--bench-dir <dir>]\n"
         "                     [--baselines <dir>] [--out-dir <dir>]\n"
         "                     [--compare <baseline> <current>] [--list]\n");
@@ -203,6 +204,9 @@ main(int argc, char **argv)
         std::string value;
         if (arg == "--update-baselines") {
             opt.update = true;
+        } else if (arg == "--quick") {
+            // Accepted for CI-invocation symmetry with the bench
+            // binaries; the suite always runs them in --quick mode.
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--only" && next(&value)) {
