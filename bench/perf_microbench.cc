@@ -21,6 +21,7 @@
 #include "fpu/memo.h"
 #include "fpu/trivial.h"
 #include "phys/world.h"
+#include "srv/batch.h"
 
 using namespace hfpu;
 
@@ -261,6 +262,33 @@ BM_ClusterDispatch(benchmark::State &state)
         sim.dispatch(unit);
 }
 BENCHMARK(BM_ClusterDispatch);
+
+/**
+ * Batch service throughput: 8 seeded debris worlds over the scheduler,
+ * parameterized by pool size. Threads beyond the machine's cores add
+ * only scheduling overhead, so the sweep stops at the core count.
+ */
+void
+BM_BatchScheduler(benchmark::State &state)
+{
+    srv::BatchConfig config;
+    config.threads = static_cast<int>(state.range(0));
+    config.sliceSteps = 0;
+    srv::JobSpec spec;
+    spec.scenario = "Random";
+    spec.replicas = 8;
+    spec.seed = 7;
+    spec.steps = 30;
+    std::vector<srv::JobSpec> jobs{spec};
+    srv::BatchScheduler scheduler(config);
+    int quarantined = 0;
+    for (auto _ : state) {
+        for (const auto &r : scheduler.run(jobs))
+            quarantined += r.status == srv::WorldStatus::Quarantined;
+    }
+    state.counters["quarantined"] = quarantined;
+}
+BENCHMARK(BM_BatchScheduler)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

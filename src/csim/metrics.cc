@@ -465,18 +465,58 @@ Json::parse(const std::string &text, std::string *error)
 // Registry
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** The calling thread's metric namespace, "" or "<prefix>/...". */
+thread_local std::string g_namespace;
+
+/** Qualify a written name with the thread's namespace. */
+std::string
+qualified(const std::string &name)
+{
+    return g_namespace.empty() ? name : g_namespace + name;
+}
+
+} // namespace
+
+ScopedNamespace::ScopedNamespace(const std::string &prefix)
+    : saved_(g_namespace)
+{
+    g_namespace += prefix;
+    g_namespace += '/';
+}
+
+ScopedNamespace::~ScopedNamespace()
+{
+    g_namespace = saved_;
+}
+
+const std::string &
+ScopedNamespace::current()
+{
+    return g_namespace;
+}
+
+std::string
+ScopedNamespace::exchange(std::string ns)
+{
+    std::string prev = std::move(g_namespace);
+    g_namespace = std::move(ns);
+    return prev;
+}
+
 void
 Registry::count(const std::string &name, uint64_t delta)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    counters_[name] += delta;
+    counters_[qualified(name)] += delta;
 }
 
 void
 Registry::addTime(const std::string &name, std::chrono::nanoseconds ns)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    Timer &timer = timers_[name];
+    Timer &timer = timers_[qualified(name)];
     timer.ns += static_cast<uint64_t>(ns.count());
     ++timer.calls;
 }

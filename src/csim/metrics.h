@@ -109,6 +109,13 @@ class Json
  * Thread-safe registry of named counters and accumulated wall-clock
  * timers. Names are slash-separated paths ("phys/narrow", "lcp/rows")
  * and become keys of the emitted "profile" JSON object.
+ *
+ * Writes (count / addTime) prepend the calling thread's metric
+ * namespace (see ScopedNamespace), which is how the batch simulation
+ * service keeps the instrumentation of N concurrent worlds apart in
+ * one registry: a world stepping under namespace "srv/Ragdoll#2"
+ * accumulates "srv/Ragdoll#2/phys/steps" and so on. Reads take names
+ * verbatim — callers query fully qualified keys.
  */
 class Registry
 {
@@ -145,6 +152,37 @@ class Registry
     mutable std::mutex mutex_;
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, Timer> timers_;
+};
+
+/**
+ * RAII thread-local metric namespace. While alive, every Registry
+ * write from this thread gets "<prefix>/" prepended to its name.
+ * Scopes nest by concatenation ("srv" inside "batch0" gives
+ * "batch0/srv/..."). The active namespace is part of the thread state
+ * the WorkerPool hands to its workers at chunk boundaries, so a
+ * world's phase timers land in the world's namespace no matter which
+ * pool thread ran them.
+ */
+class ScopedNamespace
+{
+  public:
+    explicit ScopedNamespace(const std::string &prefix);
+    ~ScopedNamespace();
+
+    ScopedNamespace(const ScopedNamespace &) = delete;
+    ScopedNamespace &operator=(const ScopedNamespace &) = delete;
+
+    /** The calling thread's active namespace ("" = none). */
+    static const std::string &current();
+    /**
+     * Replace the calling thread's namespace wholesale (no nesting).
+     * Used by the worker pool to install a captured snapshot; returns
+     * the previous value so it can be restored.
+     */
+    static std::string exchange(std::string ns);
+
+  private:
+    std::string saved_;
 };
 
 /** RAII wall-clock timer accumulating into a registry on destruction. */

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 
+#include "csim/metrics.h"
 #include "fp/precision.h"
 
 namespace hfpu {
 namespace phys {
 
-/** Captured precision settings of the submitting thread. */
-struct WorkerPool::ContextSnapshot {
+/**
+ * Captured thread state of the submitting thread: precision settings
+ * plus the metric namespace. Installed by every worker before each
+ * chunk — workers interleave chunks of different batches (different
+ * worlds under the batch scheduler), so the handoff happens at every
+ * chunk boundary.
+ */
+struct ContextSnapshot {
     int mantissaBits[fp::kNumPhases];
     fp::RoundingMode mode;
     fp::Phase phase;
+    bool forceSlowPath;
+    bool useSoftFloat;
+    std::string metricsNamespace;
 
     static ContextSnapshot
     capture()
@@ -22,6 +32,9 @@ struct WorkerPool::ContextSnapshot {
             s.mantissaBits[p] = ctx.mantissaBits(static_cast<fp::Phase>(p));
         s.mode = ctx.roundingMode();
         s.phase = ctx.phase();
+        s.forceSlowPath = ctx.forceSlowPath();
+        s.useSoftFloat = ctx.useSoftFloat();
+        s.metricsNamespace = metrics::ScopedNamespace::current();
         return s;
     }
 
@@ -34,11 +47,28 @@ struct WorkerPool::ContextSnapshot {
                                 mantissaBits[p]);
         ctx.setRoundingMode(mode);
         ctx.setPhase(phase);
+        ctx.setForceSlowPath(forceSlowPath);
+        ctx.setUseSoftFloat(useSoftFloat);
+        metrics::ScopedNamespace::exchange(metricsNamespace);
     }
 };
 
+/**
+ * One open parallelFor call. Lives on the submitter's stack; the pool
+ * holds a pointer only while chunks remain to be claimed or executed.
+ * All fields are guarded by the pool mutex except fn/grain/snapshot,
+ * which are immutable after submission.
+ */
+struct WorkerPool::Batch {
+    const std::function<void(int)> *fn = nullptr;
+    int size = 0;
+    int next = 0;    //!< first unclaimed index
+    int grain = 1;
+    int running = 0; //!< chunks currently executing
+    ContextSnapshot snapshot;
+};
+
 WorkerPool::WorkerPool(int threads)
-    : snapshot_(std::make_unique<ContextSnapshot>())
 {
     // A nonsensical count degrades to serial, matching World's clamp.
     const int workers = std::max(threads, 1) - 1;
@@ -59,32 +89,45 @@ WorkerPool::~WorkerPool()
 }
 
 void
+WorkerPool::runChunk(std::unique_lock<std::mutex> &lock, Batch &batch,
+                     bool applySnapshot)
+{
+    const int begin = batch.next;
+    const int end = std::min(batch.size, begin + batch.grain);
+    batch.next = end;
+    ++batch.running;
+    lock.unlock();
+    if (applySnapshot)
+        batch.snapshot.apply();
+    for (int i = begin; i < end; ++i)
+        (*batch.fn)(i);
+    lock.lock();
+    --batch.running;
+    if (batch.next >= batch.size && batch.running == 0)
+        done_.notify_all();
+}
+
+void
 WorkerPool::workerLoop()
 {
-    uint64_t seen_generation = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
-        wake_.wait(lock, [&] {
-            return stop_ || generation_ != seen_generation;
-        });
-        if (stop_)
-            return;
-        seen_generation = generation_;
-        snapshot_->apply();
-        const std::function<void(int)> *fn = fn_;
-        ++active_;
-        while (fn != nullptr && next_ < batchSize_) {
-            const int begin = next_;
-            const int end = std::min(batchSize_, begin + grain_);
-            next_ = end;
-            lock.unlock();
-            for (int i = begin; i < end; ++i)
-                (*fn)(i);
-            lock.lock();
+        // Newest open batch first: nested batches drain before the
+        // outer batches that spawned them, unblocking their submitters.
+        Batch *open = nullptr;
+        for (auto it = batches_.rbegin(); it != batches_.rend(); ++it) {
+            if ((*it)->next < (*it)->size) {
+                open = *it;
+                break;
+            }
         }
-        --active_;
-        if (active_ == 0)
-            done_.notify_all();
+        if (open == nullptr) {
+            if (stop_)
+                return;
+            wake_.wait(lock);
+            continue;
+        }
+        runChunk(lock, *open, /*applySnapshot=*/true);
     }
 }
 
@@ -106,26 +149,22 @@ WorkerPool::parallelFor(int n, const std::function<void(int)> &fn,
             fn(i);
         return;
     }
+    Batch batch;
+    batch.fn = &fn;
+    batch.size = n;
+    batch.grain = grain;
+    batch.snapshot = ContextSnapshot::capture();
+
     std::unique_lock<std::mutex> lock(mutex_);
-    *snapshot_ = ContextSnapshot::capture();
-    fn_ = &fn;
-    batchSize_ = n;
-    next_ = 0;
-    grain_ = grain;
-    ++generation_;
+    batches_.push_back(&batch);
     wake_.notify_all();
-    // The submitting thread works too.
-    while (next_ < batchSize_) {
-        const int begin = next_;
-        const int end = std::min(batchSize_, begin + grain_);
-        next_ = end;
-        lock.unlock();
-        for (int i = begin; i < end; ++i)
-            fn(i);
-        lock.lock();
-    }
-    done_.wait(lock, [&] { return active_ == 0; });
-    fn_ = nullptr;
+    // The submitting thread works too. Its thread state already *is*
+    // the snapshot, so no install is needed; tasks see the same
+    // context they would under serial execution.
+    while (batch.next < batch.size)
+        runChunk(lock, batch, /*applySnapshot=*/false);
+    done_.wait(lock, [&] { return batch.running == 0; });
+    batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
 }
 
 } // namespace phys

@@ -32,6 +32,7 @@ IslandSolver::IslandSolver(std::vector<RigidBody> &bodies,
                   island.contactIndices.size() * 3);
     for (int ji : island.jointIndices)
         joints_[ji]->appendRows(bodies_, dt_, config_.erp, rows_);
+    jointRows_ = rows_.size();
     for (int ci : island.contactIndices)
         appendContactRows(contacts[ci]);
 }

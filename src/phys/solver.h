@@ -66,6 +66,15 @@ class IslandSolver
     /** Number of rows built for this island (tests/stats). */
     size_t rowCount() const { return rows_.size(); }
 
+    /** The island's rows after solve() (impulse capture, tests). */
+    const std::vector<SolverRow> &rows() const { return rows_; }
+
+    /**
+     * Rows contributed by joints; contact rows (normal followed by its
+     * two friction rows, per contact) start at this index.
+     */
+    size_t jointRowCount() const { return jointRows_; }
+
   private:
     void appendContactRows(const Contact &contact);
     void relaxOnce();
@@ -76,6 +85,7 @@ class IslandSolver
     SolverConfig config_;
     float dt_;
     std::vector<SolverRow> rows_;
+    size_t jointRows_ = 0;
 };
 
 } // namespace phys

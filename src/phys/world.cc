@@ -53,7 +53,7 @@ World::World(const WorldConfig &config) : config_(config)
 bool
 World::parallelAllowed() const
 {
-    return pool_ != nullptr && listener_ == nullptr &&
+    return activePool() != nullptr && listener_ == nullptr &&
         fp::PrecisionContext::current().recorder() == nullptr;
 }
 
@@ -115,7 +115,7 @@ World::runPhases()
             // merged in pair order so results match the serial engine
             // bit for bit.
             std::vector<ContactList> per_pair(pairs.size());
-            pool_->parallelFor(
+            activePool()->parallelFor(
                 static_cast<int>(pairs.size()), [&](int i) {
                     const BodyPair &p = pairs[i];
                     collide(bodies_[p.a], p.a, bodies_[p.b], p.b,
@@ -186,6 +186,10 @@ World::runPhases()
         ScopedPhase lcp(Phase::Lcp);
         metrics::ScopedTimer timer(registry, "phys/lcp");
         IterationForwarder forwarder(listener_);
+        // Per-island capture slots, flattened in island order below so
+        // the record is deterministic under parallel solving.
+        std::vector<std::vector<SolverImpulse>> captured(
+            captureImpulses_ ? islands_.size() : 0);
         auto solveIsland = [&](int i) {
             const Island &island = islands_[i];
             // Fully sleeping islands are skipped ("object disabling").
@@ -201,15 +205,35 @@ World::runPhases()
             IslandSolver solver(bodies_, contacts_, joints_, island,
                                 config_.solver, config_.dt);
             solver.solve(i, listener_ ? &forwarder : nullptr);
+            if (captureImpulses_) {
+                const auto &rows = solver.rows();
+                auto &out = captured[i];
+                out.reserve(rows.size());
+                for (size_t r = 0; r < rows.size(); ++r) {
+                    SolverImpulse imp;
+                    imp.island = i;
+                    imp.row = static_cast<int>(r);
+                    imp.normalRow = rows[r].normalRow;
+                    imp.contact = r >= solver.jointRowCount();
+                    imp.lambda = rows[r].lambda;
+                    imp.mu = rows[r].mu;
+                    out.push_back(imp);
+                }
+            }
         };
         if (parallelAllowed()) {
             // Islands are independent LCPs (the paper's coarse-grain
             // LCP parallelism).
-            pool_->parallelFor(static_cast<int>(islands_.size()),
-                               solveIsland);
+            activePool()->parallelFor(static_cast<int>(islands_.size()),
+                                      solveIsland);
         } else {
             for (int i = 0; i < static_cast<int>(islands_.size()); ++i)
                 solveIsland(i);
+        }
+        lastImpulses_.clear();
+        for (auto &island_rows : captured) {
+            lastImpulses_.insert(lastImpulses_.end(),
+                                 island_rows.begin(), island_rows.end());
         }
     }
 

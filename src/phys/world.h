@@ -64,6 +64,22 @@ class WorkUnitListener
     virtual void endStep() {}
 };
 
+/**
+ * One accumulated constraint impulse of the last step, in
+ * deterministic (island index, row index) order. Friction rows point
+ * at their limiting normal row via @p normalRow (an index into the
+ * same island's records); contact-normal rows have normalRow == -1
+ * and nonzero-area lambda >= 0 by LCP complementarity.
+ */
+struct SolverImpulse {
+    int island = 0;     //!< island the row belonged to
+    int row = 0;        //!< row index within the island
+    int normalRow = -1; //!< island-local index of the limiting normal
+    bool contact = false; //!< contact row (vs joint row)
+    float lambda = 0.0f;  //!< accumulated impulse
+    float mu = 0.0f;      //!< friction coefficient (friction rows)
+};
+
 /** The simulation world. */
 class World
 {
@@ -109,6 +125,7 @@ class World
     /**
      * Reconfigure the worker pool after construction (values below 1
      * are clamped to 1 = serial). Must not be called mid-step.
+     * Drops any shared pool installed via setSharedPool().
      */
     void
     setThreads(int threads)
@@ -116,8 +133,26 @@ class World
         if (threads < 1)
             threads = 1;
         config_.threads = threads;
+        sharedPool_ = nullptr;
         pool_ = threads > 1 ? std::make_unique<WorkerPool>(threads)
                             : nullptr;
+    }
+
+    /**
+     * Use an externally owned pool for the parallel phases instead of
+     * a private one (nullptr reverts to serial). The batch simulation
+     * service points every world at one shared pool, so island-level
+     * parallelism inside a world composes with across-world
+     * parallelism; WorkerPool::parallelFor is reentrant, which makes
+     * the nested submission safe. Results are bit-exact regardless of
+     * pool ownership or thread count.
+     */
+    void
+    setSharedPool(WorkerPool *pool)
+    {
+        sharedPool_ = pool;
+        pool_.reset();
+        config_.threads = pool != nullptr ? pool->threads() : 1;
     }
 
     /** Advance the simulation by one dt step. */
@@ -165,6 +200,23 @@ class World
     const std::vector<Island> &lastIslands() const { return islands_; }
     int lastPairCount() const { return lastPairCount_; }
     bool stateFinite() const;
+
+    /**
+     * Record the solver's accumulated impulses each step (off by
+     * default; golden traces and the believability property tests turn
+     * it on). Adds no FP ops through the precision layer, so op-count
+     * statistics are unaffected.
+     */
+    void setCaptureImpulses(bool capture) { captureImpulses_ = capture; }
+    bool captureImpulses() const { return captureImpulses_; }
+    /**
+     * Last step's impulses in deterministic (island, row) order;
+     * empty unless capture is enabled. Identical across thread counts.
+     */
+    const std::vector<SolverImpulse> &lastImpulses() const
+    {
+        return lastImpulses_;
+    }
     /** @} */
 
   private:
@@ -185,8 +237,16 @@ class World
     /** True when this step's parallel phases may use the pool. */
     bool parallelAllowed() const;
 
+    /** The pool the parallel phases submit to (may be null = serial). */
+    WorkerPool *
+    activePool() const
+    {
+        return sharedPool_ != nullptr ? sharedPool_ : pool_.get();
+    }
+
     WorldConfig config_;
     std::unique_ptr<WorkerPool> pool_;
+    WorkerPool *sharedPool_ = nullptr; //!< not owned (batch service)
     SweepAndPrune broadphase_;
     std::vector<RigidBody> bodies_;
     std::vector<std::unique_ptr<Joint>> joints_;
@@ -195,6 +255,8 @@ class World
 
     ContactList contacts_;
     std::vector<Island> islands_;
+    bool captureImpulses_ = false;
+    std::vector<SolverImpulse> lastImpulses_;
     int lastPairCount_ = 0;
     int step_ = 0;
     double injectedEnergy_ = 0.0;

@@ -1,0 +1,61 @@
+#include "scen/random.h"
+
+namespace hfpu {
+namespace scen {
+
+using namespace phys;
+
+Scenario
+makeRandomScenario(uint64_t seed)
+{
+    SplitMix64 rng(seed);
+
+    Scenario s;
+    s.name = "Random#" + std::to_string(seed);
+    s.world = std::make_unique<World>();
+    s.world->addBody(
+        RigidBody::makeStatic(Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+
+    // A jittered grid of debris so bodies start near (but not inside)
+    // each other and collide within a few steps.
+    const int count = 6 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < count; ++i) {
+        const float x =
+            (i % 4 - 1.5f) * 0.8f + rng.uniform(-0.15f, 0.15f);
+        const float z =
+            (i / 4 - 1.0f) * 0.8f + rng.uniform(-0.15f, 0.15f);
+        const float y = 0.5f + 0.45f * (i % 3) + rng.uniform(0.0f, 0.2f);
+        const float mass = rng.uniform(0.5f, 3.0f);
+        RigidBody body = rng.below(2) == 0
+            ? RigidBody(Shape::sphere(rng.uniform(0.12f, 0.3f)), mass,
+                        {x, y, z})
+            : RigidBody(Shape::box({rng.uniform(0.1f, 0.25f),
+                                    rng.uniform(0.1f, 0.25f),
+                                    rng.uniform(0.1f, 0.25f)}),
+                        mass, {x, y, z});
+        body.linVel = {rng.uniform(-1.0f, 1.0f),
+                       rng.uniform(-0.5f, 0.0f),
+                       rng.uniform(-1.0f, 1.0f)};
+        s.world->addBody(body);
+    }
+
+    // Scripted events at seeded steps: one explosion, one projectile.
+    const int boomStep = 20 + static_cast<int>(rng.below(40));
+    const float boomSpeed = rng.uniform(3.0f, 8.0f);
+    const int shotStep = 10 + static_cast<int>(rng.below(60));
+    const float shotSpeed = rng.uniform(8.0f, 20.0f);
+    const float shotZ = rng.uniform(-0.5f, 0.5f);
+    s.driver = [=](World &world, int step) {
+        if (step == boomStep)
+            world.applyExplosion({0.0f, 0.2f, 0.0f}, boomSpeed, 3.0f);
+        if (step == shotStep) {
+            world.spawnProjectile(Shape::sphere(0.15f), 3.0f,
+                                  {-5.0f, 0.6f, shotZ},
+                                  {shotSpeed, 1.0f, 0.0f});
+        }
+    };
+    return s;
+}
+
+} // namespace scen
+} // namespace hfpu

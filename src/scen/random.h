@@ -1,0 +1,71 @@
+#ifndef HFPU_SCEN_RANDOM_H
+#define HFPU_SCEN_RANDOM_H
+
+/**
+ * @file
+ * Seeded randomized scenarios for the batch service and the scheduler
+ * stress tests: a debris field of boxes and spheres with randomized
+ * poses, velocities, and scripted events, all derived from one 64-bit
+ * seed through a self-contained splitmix64 generator. Using our own
+ * generator (not <random> distributions, whose float mappings are
+ * implementation-defined) keeps a seed's world bit-identical across
+ * standard libraries — a golden-trace requirement.
+ */
+
+#include <cstdint>
+
+#include "scen/scenario.h"
+
+namespace hfpu {
+namespace scen {
+
+/**
+ * Deterministic 64-bit PRNG (splitmix64). Small enough to live in the
+ * header so tests can drive the exact sequence.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform float in [lo, hi) from the top 24 bits. */
+    float
+    uniform(float lo, float hi)
+    {
+        const float u =
+            static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+        return lo + (hi - lo) * u;
+    }
+
+    /** Uniform integer in [0, n). */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Build the randomized debris scenario for @p seed: ground plane, a
+ * seeded mix of falling boxes and spheres on a jittered grid, and a
+ * scripted explosion plus projectile at seeded steps. The same seed
+ * always builds the bit-identical scenario.
+ */
+Scenario makeRandomScenario(uint64_t seed);
+
+} // namespace scen
+} // namespace hfpu
+
+#endif // HFPU_SCEN_RANDOM_H

@@ -1,9 +1,11 @@
 #include "scen/scenario.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "phys/cloth.h"
 #include "scen/ragdoll.h"
+#include "scen/random.h"
 
 namespace hfpu {
 namespace scen {
@@ -274,6 +276,14 @@ makeScenario(const std::string &name)
         return makePeriodic();
     if (name == "Ragdoll")
         return makeRagdoll();
+    // "Random#<seed>": the seeded debris scenario (see scen/random.h).
+    if (name.rfind("Random#", 0) == 0) {
+        const char *digits = name.c_str() + 7;
+        char *end = nullptr;
+        const uint64_t seed = std::strtoull(digits, &end, 10);
+        if (end != digits && *end == '\0')
+            return makeRandomScenario(seed);
+    }
     throw std::invalid_argument("unknown scenario: " + name);
 }
 

@@ -1,0 +1,265 @@
+#include "srv/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <optional>
+
+#include "csim/metrics.h"
+#include "fp/precision.h"
+#include "srv/statehash.h"
+
+namespace hfpu {
+namespace srv {
+
+namespace {
+
+/**
+ * Saves the calling thread's precision settings and restores them on
+ * scope exit, so a scheduler thread leaves a world job with the same
+ * context it entered with. The slow-path/soft-float escape hatches are
+ * deliberately left alone: they are ambient cross-check switches, not
+ * per-world configuration.
+ */
+class FpContextSaver
+{
+  public:
+    FpContextSaver() : ctx_(fp::PrecisionContext::current())
+    {
+        for (int p = 0; p < fp::kNumPhases; ++p)
+            bits_[p] = ctx_.mantissaBits(static_cast<fp::Phase>(p));
+        mode_ = ctx_.roundingMode();
+        phase_ = ctx_.phase();
+    }
+
+    ~FpContextSaver()
+    {
+        for (int p = 0; p < fp::kNumPhases; ++p)
+            ctx_.setMantissaBits(static_cast<fp::Phase>(p), bits_[p]);
+        ctx_.setRoundingMode(mode_);
+        ctx_.setPhase(phase_);
+    }
+
+    FpContextSaver(const FpContextSaver &) = delete;
+    FpContextSaver &operator=(const FpContextSaver &) = delete;
+
+  private:
+    fp::PrecisionContext &ctx_;
+    int bits_[fp::kNumPhases];
+    fp::RoundingMode mode_;
+    fp::Phase phase_;
+};
+
+/**
+ * Install one world's precision configuration into the thread context.
+ * Called at every slice boundary: a worker may have run a different
+ * world (different widths, different rounding mode) in between, so
+ * the install is unconditional and complete. Controller-guarded
+ * worlds get full precision here and let the controller program the
+ * narrow/LCP widths at each beginStep().
+ */
+void
+installWorldContext(const phys::PrecisionPolicy &policy,
+                    bool useController)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setAllMantissaBits(fp::kFullMantissaBits);
+    ctx.setRoundingMode(policy.roundingMode);
+    ctx.setPhase(fp::Phase::Other);
+    if (!useController) {
+        ctx.setMantissaBits(fp::Phase::Narrow, policy.minNarrowBits);
+        ctx.setMantissaBits(fp::Phase::Lcp, policy.minLcpBits);
+    }
+}
+
+} // namespace
+
+/** One expanded world job (spec x replica). */
+struct BatchScheduler::WorldTask {
+    const JobSpec *spec = nullptr;
+    std::string scenario; //!< resolved name ("Random" gets its seed)
+    int replica = 0;
+    int index = 0;        //!< global index in the batch
+    WorldResult result;
+};
+
+BatchScheduler::BatchScheduler(const BatchConfig &config)
+    : config_(config),
+      pool_(std::make_unique<phys::WorkerPool>(
+          std::max(1, config.threads)))
+{
+}
+
+BatchScheduler::~BatchScheduler() = default;
+
+int
+BatchScheduler::threads() const
+{
+    return pool_->threads();
+}
+
+void
+BatchScheduler::runWorld(WorldTask &task)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const JobSpec &spec = *task.spec;
+    WorldResult &res = task.result;
+    res.scenario = task.scenario;
+    res.replica = task.replica;
+
+    FpContextSaver saved;
+    try {
+        scen::Scenario scenario =
+            spec.factory ? spec.factory() : scen::makeScenario(task.scenario);
+        if (spec.factory)
+            res.scenario = scenario.name;
+        phys::World &world = *scenario.world;
+        world.setCaptureImpulses(config_.captureImpulses);
+        if (config_.innerParallel && pool_->threads() > 1)
+            world.setSharedPool(pool_.get());
+
+        std::optional<phys::PrecisionController> controller;
+        if (spec.useController) {
+            controller.emplace(spec.policy);
+            world.setController(&*controller);
+        }
+        // Unguarded worlds still get the believability monitor — not
+        // to adapt precision, but to detect a blow-up and quarantine.
+        phys::EnergyMonitor monitor(spec.policy.energyThreshold,
+                                    spec.policy.blowupFactor);
+
+        const std::string metricsKey =
+            "srv/" + res.scenario + "@" + std::to_string(task.index);
+        const int total = std::max(0, spec.steps);
+        const int slice =
+            config_.sliceSteps > 0 ? config_.sliceSteps : std::max(1, total);
+        if (spec.hashTrace)
+            res.stepHashes.reserve(total);
+
+        while (res.stepsDone < total &&
+               res.status == WorldStatus::Completed) {
+            const int sliceEnd = std::min(total, res.stepsDone + slice);
+            {
+                metrics::ScopedNamespace ns(metricsKey);
+                installWorldContext(spec.policy, spec.useController);
+                while (res.stepsDone < sliceEnd) {
+                    scenario.step();
+                    ++res.stepsDone;
+                    if (spec.hashTrace)
+                        res.stepHashes.push_back(stateHash(world));
+                    if (!world.stateFinite()) {
+                        res.status = WorldStatus::Quarantined;
+                        res.quarantineReason = "non-finite state after step " +
+                            std::to_string(res.stepsDone);
+                        break;
+                    }
+                    if (!spec.useController &&
+                        monitor.observe(world.lastEnergy().total(),
+                                        world.lastInjectedEnergy(), true) ==
+                            phys::EnergyMonitor::Verdict::BlowUp) {
+                        res.status = WorldStatus::Quarantined;
+                        res.quarantineReason = "energy blow-up after step " +
+                            std::to_string(res.stepsDone);
+                        break;
+                    }
+                }
+            }
+            if (config_.onProgress) {
+                WorldProgress progress;
+                progress.world = task.index;
+                progress.scenario = res.scenario;
+                progress.replica = task.replica;
+                progress.stepsDone = res.stepsDone;
+                progress.stepsTotal = total;
+                progress.energy = world.lastEnergy().total();
+                progress.quarantined =
+                    res.status == WorldStatus::Quarantined;
+                std::lock_guard<std::mutex> lock(progressMutex_);
+                config_.onProgress(progress);
+            }
+        }
+
+        res.finalEnergy = world.lastEnergy().total();
+        res.finalHash = stateHash(world);
+        if (controller) {
+            res.violations = controller->violations();
+            res.reexecutions = controller->reexecutions();
+            world.setController(nullptr);
+        }
+    } catch (const std::exception &e) {
+        res.status = WorldStatus::Quarantined;
+        res.quarantineReason = std::string("exception: ") + e.what();
+    }
+    res.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+}
+
+std::vector<WorldResult>
+BatchScheduler::run(const std::vector<JobSpec> &jobs)
+{
+    // Deterministic expansion order: spec order, then replica order.
+    std::vector<WorldTask> tasks;
+    for (const JobSpec &spec : jobs) {
+        for (int r = 0; r < std::max(1, spec.replicas); ++r) {
+            WorldTask task;
+            task.spec = &spec;
+            task.replica = r;
+            task.index = static_cast<int>(tasks.size());
+            // "Random" fans replicas out over consecutive seeds.
+            task.scenario = spec.scenario == "Random"
+                ? "Random#" + std::to_string(spec.seed + r)
+                : spec.scenario;
+            tasks.push_back(std::move(task));
+        }
+    }
+
+    const int slots =
+        std::min(threads(), static_cast<int>(tasks.size()));
+    if (slots <= 1) {
+        for (WorldTask &task : tasks)
+            runWorld(task);
+    } else {
+        // World-level work stealing: each slot owns a deque (filled
+        // round-robin so long jobs spread out), pops its own work from
+        // the back, and steals a whole world from the front of the
+        // next busy slot when it runs dry.
+        std::vector<std::deque<WorldTask *>> queues(slots);
+        for (WorldTask &task : tasks)
+            queues[task.index % slots].push_back(&task);
+        std::mutex queueMutex;
+        auto nextTask = [&](int slot) -> WorldTask * {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            if (!queues[slot].empty()) {
+                WorldTask *t = queues[slot].back();
+                queues[slot].pop_back();
+                return t;
+            }
+            for (int k = 1; k < slots; ++k) {
+                auto &victim = queues[(slot + k) % slots];
+                if (!victim.empty()) {
+                    WorldTask *t = victim.front();
+                    victim.pop_front();
+                    return t;
+                }
+            }
+            return nullptr;
+        };
+        pool_->parallelFor(
+            slots,
+            [&](int slot) {
+                while (WorldTask *task = nextTask(slot))
+                    runWorld(*task);
+            },
+            /*grain=*/1);
+    }
+
+    std::vector<WorldResult> results;
+    results.reserve(tasks.size());
+    for (WorldTask &task : tasks)
+        results.push_back(std::move(task.result));
+    return results;
+}
+
+} // namespace srv
+} // namespace hfpu

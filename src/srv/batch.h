@@ -1,0 +1,167 @@
+#ifndef HFPU_SRV_BATCH_H
+#define HFPU_SRV_BATCH_H
+
+/**
+ * @file
+ * The batch multi-world simulation service: run N independent
+ * scenario worlds — each with its own precision policy, controller,
+ * and metric namespace — concurrently over one shared WorkerPool.
+ * This is the cluster-of-cores usage model of the paper's Figure 6
+ * sweep: the batch layer is a pure throughput multiplier, never a
+ * behavior change.
+ *
+ * Parallelism is two-level. Worlds are distributed over per-slot
+ * work-stealing deques (a slot per pool thread; an idle slot steals
+ * whole worlds from the front of a busy slot's deque), and inside a
+ * world the engine's island/narrow-phase parallelFor submits nested
+ * batches to the same pool, so leftover threads help the worlds still
+ * running. Per-world thread-local state (precision context, metric
+ * namespace) is installed at every job-slice boundary, which is what
+ * makes a worker safe to interleave chunks of different worlds.
+ *
+ * The determinism contract — enforced by the golden-trace and
+ * scheduler test suites — is that a world's step-by-step state is a
+ * pure function of its scenario and precision config: bitwise
+ * identical run serially, batched on 1 thread, or batched on 16.
+ *
+ * Failure isolation: a world whose energy monitor reports a blow-up
+ * that full-precision re-execution cannot cure (non-finite state), or
+ * whose driver throws, is quarantined — reported in its result slot
+ * with the reason and the step it died at — without taking down the
+ * rest of the batch.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phys/controller.h"
+#include "phys/parallel.h"
+#include "scen/scenario.h"
+
+namespace hfpu {
+namespace srv {
+
+/** One job: a scenario, a precision config, and a replication count. */
+struct JobSpec {
+    /**
+     * Scenario name (scen::makeScenario), including the seeded
+     * "Random#<seed>" form. Ignored when @p factory is set.
+     */
+    std::string scenario = "Everything";
+    int steps = 100;
+    /** Independent copies of this job (distinct worlds, same config). */
+    int replicas = 1;
+    /**
+     * Base seed for "Random" scenarios: replica r of a "Random" job
+     * simulates "Random#<seed + r>" so replicas explore distinct
+     * worlds deterministically.
+     */
+    uint64_t seed = 0;
+    /** Per-world precision policy (also used without the controller). */
+    phys::PrecisionPolicy policy;
+    /** Attach the dynamic precision controller / energy guard. */
+    bool useController = true;
+    /** Record a per-step state-hash trace in the result. */
+    bool hashTrace = false;
+    /** Test hook: build the scenario directly, overriding @p scenario. */
+    std::function<scen::Scenario()> factory;
+};
+
+/** Terminal state of one world of a batch. */
+enum class WorldStatus {
+    Completed,   //!< ran all requested steps
+    Quarantined, //!< isolated after a blow-up or an exception
+};
+
+/** Outcome of one world, in deterministic job-expansion order. */
+struct WorldResult {
+    std::string scenario; //!< resolved name (e.g. "Random#42")
+    int replica = 0;
+    WorldStatus status = WorldStatus::Completed;
+    int stepsDone = 0;
+    uint64_t finalHash = 0;   //!< stateHash after the last step
+    std::vector<uint64_t> stepHashes; //!< per-step, when hashTrace
+    double finalEnergy = 0.0;
+    int violations = 0;       //!< controller throttle-ups
+    int reexecutions = 0;     //!< controller full-precision redos
+    std::string quarantineReason; //!< empty unless quarantined
+    double wallMs = 0.0;      //!< this world's own wall-clock time
+};
+
+/** Streamed progress report (one per completed slice of a world). */
+struct WorldProgress {
+    int world = 0;            //!< global world index in the batch
+    std::string scenario;
+    int replica = 0;
+    int stepsDone = 0;
+    int stepsTotal = 0;
+    double energy = 0.0;
+    bool quarantined = false;
+};
+
+/** Scheduler tunables. */
+struct BatchConfig {
+    /** Pool size shared by both parallelism levels (>= 1). */
+    int threads = 1;
+    /**
+     * Steps per job slice. Progress is streamed and per-world thread
+     * state reinstalled at slice boundaries; 0 runs each world in one
+     * slice.
+     */
+    int sliceSteps = 25;
+    /**
+     * Let worlds submit their island/narrow-phase batches to the
+     * shared pool (two-level parallelism). Off = worlds run their
+     * phases serially; results are bit-identical either way.
+     */
+    bool innerParallel = true;
+    /** Capture solver impulses so state hashes cover them. */
+    bool captureImpulses = true;
+    /**
+     * Progress sink, invoked under the scheduler's mutex (thread-safe
+     * for the callee) after every slice. May be empty.
+     */
+    std::function<void(const WorldProgress &)> onProgress;
+};
+
+/**
+ * Runs batches of simulation jobs over one shared worker pool. The
+ * pool persists across run() calls, so a long-lived server pays
+ * thread creation once.
+ */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const BatchConfig &config);
+    ~BatchScheduler();
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /**
+     * Expand every spec's replicas into worlds, simulate them all, and
+     * return one result per world in expansion order (spec order, then
+     * replica order) regardless of which thread ran what. Blocks until
+     * the batch completes; quarantined worlds do not abort the batch.
+     */
+    std::vector<WorldResult> run(const std::vector<JobSpec> &jobs);
+
+    int threads() const;
+
+  private:
+    struct WorldTask;
+
+    void runWorld(WorldTask &task);
+
+    BatchConfig config_;
+    std::unique_ptr<phys::WorkerPool> pool_;
+    std::mutex progressMutex_;
+};
+
+} // namespace srv
+} // namespace hfpu
+
+#endif // HFPU_SRV_BATCH_H

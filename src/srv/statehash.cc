@@ -1,0 +1,30 @@
+#include "srv/statehash.h"
+
+#include "fp/types.h"
+
+namespace hfpu {
+namespace srv {
+
+uint64_t
+stateHash(const phys::World &world)
+{
+    Fnv1a h;
+    h.mix(world.bodyCount());
+    for (const phys::RigidBody &b : world.bodies()) {
+        for (float v : {b.pos.x, b.pos.y, b.pos.z, b.orient.w,
+                        b.orient.x, b.orient.y, b.orient.z, b.linVel.x,
+                        b.linVel.y, b.linVel.z, b.angVel.x, b.angVel.y,
+                        b.angVel.z}) {
+            h.mix32(fp::floatBits(v));
+        }
+        h.mix32(b.asleep() ? 1u : 0u);
+        h.mix32(static_cast<uint32_t>(b.sleepFrames));
+    }
+    h.mix(world.lastImpulses().size());
+    for (const phys::SolverImpulse &imp : world.lastImpulses())
+        h.mix32(fp::floatBits(imp.lambda));
+    return h.value();
+}
+
+} // namespace srv
+} // namespace hfpu

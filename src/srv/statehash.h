@@ -1,0 +1,59 @@
+#ifndef HFPU_SRV_STATEHASH_H
+#define HFPU_SRV_STATEHASH_H
+
+/**
+ * @file
+ * Deterministic fingerprints of world state for the golden-trace
+ * determinism contract: an FNV-1a 64 hash over the exact bit patterns
+ * of every body's pose and velocities, the sleep machinery, and (when
+ * impulse capture is on) the solver's accumulated impulses in
+ * deterministic (island, row) order. Two runs are behaviorally
+ * identical iff their per-step hash traces are equal, so one 64-bit
+ * value per step stands in for the full state in fixtures and in the
+ * batch scheduler's serial-vs-parallel equivalence checks.
+ */
+
+#include <cstdint>
+
+#include "phys/world.h"
+
+namespace hfpu {
+namespace srv {
+
+/** Incremental FNV-1a 64 hasher. */
+class Fnv1a
+{
+  public:
+    static constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+    void
+    mix(uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (value >> (8 * i)) & 0xffu;
+            hash_ *= kPrime;
+        }
+    }
+
+    void mix32(uint32_t value) { mix(static_cast<uint64_t>(value)); }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = kOffset;
+};
+
+/**
+ * Hash of the world's full dynamic state: per body the position,
+ * orientation, linear and angular velocity bit patterns plus the
+ * sleep state, and the captured solver impulses if any. A pure
+ * function of the simulation history — independent of thread count,
+ * dispatch tier, and pool ownership.
+ */
+uint64_t stateHash(const phys::World &world);
+
+} // namespace srv
+} // namespace hfpu
+
+#endif // HFPU_SRV_STATEHASH_H

@@ -1,0 +1,51 @@
+#ifndef HFPU_TESTS_COMMON_APPROX_H
+#define HFPU_TESTS_COMMON_APPROX_H
+
+/**
+ * @file
+ * Shared numeric tolerances for the test suite, replacing the ad-hoc
+ * per-file epsilons that used to drift apart. Two families:
+ *
+ *  - approxEq(): the plain mixed absolute/relative comparison for
+ *    full-precision float results.
+ *  - mantissaRelTol(): the bound for values computed through the
+ *    reduced-mantissa pipeline — one k-bit rounding incurs at most a
+ *    2^(1-k) relative error (jamming/truncation round *toward* zero by
+ *    up to one unit in the last kept place, RN by half of one).
+ */
+
+#include <cmath>
+
+namespace hfpu {
+namespace test {
+
+/** Default absolute slack for quantities of order one. */
+inline constexpr float kAbsTol = 1e-5f;
+/** Default relative slack for full-precision float pipelines. */
+inline constexpr float kRelTol = 1e-4f;
+
+/** Mixed absolute/relative comparison (symmetric in a and b). */
+inline bool
+approxEq(float a, float b, float absTol = kAbsTol, float relTol = kRelTol)
+{
+    const float diff = std::fabs(a - b);
+    if (diff <= absTol)
+        return true;
+    const float scale = std::fmax(std::fabs(a), std::fabs(b));
+    return diff <= relTol * scale;
+}
+
+/**
+ * Worst-case relative error of a single operation rounded to a
+ * @p bits -bit mantissa: one unit in the last kept fraction place.
+ */
+inline float
+mantissaRelTol(int bits)
+{
+    return std::ldexp(1.0f, 1 - bits);
+}
+
+} // namespace test
+} // namespace hfpu
+
+#endif // HFPU_TESTS_COMMON_APPROX_H

@@ -273,4 +273,57 @@ TEST(Comparison, ServiceStatsJsonMatchesCounts)
               1.0);
 }
 
+TEST(Registry, ScopedNamespacePrefixesWritesOnly)
+{
+    auto &reg = metrics::Registry::global();
+    reg.reset();
+    reg.count("plain");
+    {
+        metrics::ScopedNamespace ns("srv/World@3");
+        reg.count("phys/steps");
+        reg.count("phys/steps");
+        // Reads are verbatim: the caller addresses the qualified key.
+        EXPECT_EQ(reg.counter("srv/World@3/phys/steps"), 2u);
+        EXPECT_EQ(reg.counter("phys/steps"), 0u);
+    }
+    reg.count("phys/steps"); // prefix gone after scope exit
+    EXPECT_EQ(reg.counter("phys/steps"), 1u);
+    EXPECT_EQ(reg.counter("plain"), 1u);
+    reg.reset();
+}
+
+TEST(Registry, ScopedNamespacesNestAndAreThreadLocal)
+{
+    auto &reg = metrics::Registry::global();
+    reg.reset();
+    {
+        metrics::ScopedNamespace outer("a");
+        {
+            metrics::ScopedNamespace inner("b");
+            reg.count("x");
+            EXPECT_EQ(metrics::ScopedNamespace::current(), "a/b/");
+        }
+        reg.count("x");
+        // Another thread sees no namespace at all.
+        std::thread([&reg] {
+            EXPECT_TRUE(metrics::ScopedNamespace::current().empty());
+            reg.count("x");
+        }).join();
+    }
+    EXPECT_EQ(reg.counter("a/b/x"), 1u);
+    EXPECT_EQ(reg.counter("a/x"), 1u);
+    EXPECT_EQ(reg.counter("x"), 1u);
+    reg.reset();
+}
+
+TEST(Registry, ExchangeRestoresNamespace)
+{
+    metrics::ScopedNamespace ns("base");
+    const std::string prev = metrics::ScopedNamespace::exchange("other/");
+    EXPECT_EQ(prev, "base/");
+    EXPECT_EQ(metrics::ScopedNamespace::current(), "other/");
+    metrics::ScopedNamespace::exchange(prev);
+    EXPECT_EQ(metrics::ScopedNamespace::current(), "base/");
+}
+
 } // namespace

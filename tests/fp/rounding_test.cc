@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 #include <cmath>
 #include <random>
 
@@ -18,7 +20,7 @@ using namespace hfpu::fp;
 
 TEST(Rounding, FullWidthIsIdentity)
 {
-    std::mt19937 rng(1);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/601);
     std::uniform_int_distribution<uint32_t> dist;
     for (int i = 0; i < 10000; ++i) {
         const uint32_t bits = dist(rng);
@@ -53,7 +55,7 @@ TEST(Rounding, SpecialValuesPassThrough)
 
 TEST(Rounding, TruncationClearsLowBits)
 {
-    std::mt19937 rng(2);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/602);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(1, 254);
     for (int i = 0; i < 10000; ++i) {
@@ -74,7 +76,7 @@ TEST(Rounding, TruncationClearsLowBits)
 
 TEST(Rounding, RoundToNearestErrorBoundedByHalfUlp)
 {
-    std::mt19937 rng(3);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/603);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(30, 220);
     std::uniform_int_distribution<uint32_t> sign(0, 1);
@@ -147,7 +149,7 @@ TEST(Rounding, JammingSetsLsbWhenGuardBitsNonzero)
 
 TEST(Rounding, JammingNeverTouchesExponent)
 {
-    std::mt19937 rng(4);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/604);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(1, 254);
     for (int i = 0; i < 10000; ++i) {
@@ -169,7 +171,7 @@ TEST(Rounding, JammingErrorIsNearlyUnbiased)
     // Assert that: |jam bias| is about trunc bias / 8, and well below
     // the mean absolute error. Truncation's bias equals its mean
     // absolute error (always rounds toward zero).
-    std::mt19937 rng(5);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/605);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     const int keep = 8;
     double jam_sum = 0.0, jam_abs = 0.0;
@@ -206,7 +208,7 @@ TEST(Rounding, FitsInMantissa)
 
 TEST(Rounding, ReductionIsIdempotent)
 {
-    std::mt19937 rng(6);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/606);
     std::uniform_int_distribution<uint32_t> dist;
     for (int i = 0; i < 20000; ++i) {
         const uint32_t bits = dist(rng);
@@ -225,7 +227,7 @@ TEST(Rounding, ReductionIsIdempotent)
 
 TEST(Rounding, ReducedValuesFitInWidth)
 {
-    std::mt19937 rng(7);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/607);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(1, 250);
     for (int i = 0; i < 20000; ++i) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 #include <cmath>
 #include <random>
 #include <vector>
@@ -81,7 +83,7 @@ TEST_P(SoftFloatOpTest, EdgeCaseCrossProduct)
 TEST_P(SoftFloatOpTest, RandomUniformBitPatterns)
 {
     const Opcode op = GetParam();
-    std::mt19937 rng(12345);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/701);
     std::uniform_int_distribution<uint32_t> dist;
     for (int i = 0; i < 200000; ++i) {
         const uint32_t a = dist(rng);
@@ -98,7 +100,7 @@ TEST_P(SoftFloatOpTest, RandomNearbyMagnitudes)
 {
     // Operands with close exponents exercise cancellation paths.
     const Opcode op = GetParam();
-    std::mt19937 rng(777);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/702);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(1, 253);
     std::uniform_int_distribution<int> delta(-2, 2);
@@ -120,7 +122,7 @@ TEST_P(SoftFloatOpTest, RandomNearbyMagnitudes)
 TEST_P(SoftFloatOpTest, RandomDenormalHeavy)
 {
     const Opcode op = GetParam();
-    std::mt19937 rng(999);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/703);
     std::uniform_int_distribution<uint32_t> frac(0, kFracMask);
     std::uniform_int_distribution<uint32_t> exp(0, 3);
     std::uniform_int_distribution<uint32_t> sign(0, 1);
@@ -155,7 +157,7 @@ TEST(SoftFloatSqrt, MatchesHostOnEdgeCases)
 
 TEST(SoftFloatSqrt, MatchesHostOnRandomPositives)
 {
-    std::mt19937 rng(4242);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/704);
     std::uniform_int_distribution<uint32_t> dist(0, 0x7f7fffffu);
     for (int i = 0; i < 200000; ++i) {
         const uint32_t a = dist(rng);
@@ -196,7 +198,7 @@ TEST(SoftFloatNarrow, NarrowExecutionRoundsResultMantissa)
 
 TEST(SoftFloatNarrow, FullWidthNarrowMatchesExact)
 {
-    std::mt19937 rng(5150);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/705);
     std::uniform_int_distribution<uint32_t> dist;
     for (int i = 0; i < 20000; ++i) {
         const uint32_t a = dist(rng);

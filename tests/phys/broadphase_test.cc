@@ -11,6 +11,8 @@
 #include <random>
 #include <set>
 
+#include "common/rng.h"
+
 #include "fp/precision.h"
 #include "phys/broadphase.h"
 
@@ -108,7 +110,7 @@ TEST(Broadphase, MarginInflatesAabbs)
 
 TEST(Broadphase, MatchesBruteForceOnRandomScenes)
 {
-    std::mt19937 rng(77);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/301);
     std::uniform_real_distribution<float> pos(-4.0f, 4.0f);
     std::uniform_real_distribution<float> size(0.2f, 0.9f);
     for (int trial = 0; trial < 30; ++trial) {
@@ -165,7 +167,7 @@ pairList(const std::vector<BodyPair> &pairs)
  */
 TEST(IncrementalBroadphase, TracksMovingBodiesAcrossSteps)
 {
-    std::mt19937 rng(123);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/302);
     std::uniform_real_distribution<float> pos(-4.0f, 4.0f);
     std::uniform_real_distribution<float> vel(-0.3f, 0.3f);
     std::vector<RigidBody> bodies;
@@ -187,7 +189,7 @@ TEST(IncrementalBroadphase, TracksMovingBodiesAcrossSteps)
 
 TEST(IncrementalBroadphase, RebuildsWhenBodiesAddedAndRemoved)
 {
-    std::mt19937 rng(321);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/303);
     std::uniform_real_distribution<float> pos(-3.0f, 3.0f);
     std::vector<RigidBody> bodies;
     SweepAndPrune sweep;
@@ -209,7 +211,7 @@ TEST(IncrementalBroadphase, RebuildsWhenBodiesAddedAndRemoved)
 
 TEST(IncrementalBroadphase, HandlesSleepAndWakeChurn)
 {
-    std::mt19937 rng(55);
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/304);
     std::uniform_real_distribution<float> pos(-2.0f, 2.0f);
     std::vector<RigidBody> bodies;
     bodies.push_back(RigidBody::makeStatic(

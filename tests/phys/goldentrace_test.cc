@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Golden-trace determinism tests. For four canonical scenarios at two
+ * precision configurations (full 23-bit, reduced 14-bit narrow/LCP)
+ * the per-step FNV state hash — positions, orientations, velocities,
+ * and accumulated solver impulses — is pinned in committed fixtures,
+ * and three execution styles must reproduce it bitwise:
+ *
+ *  - a plain serial step loop,
+ *  - the same loop with the out-of-line slow path forced (proving the
+ *    inline fast path is bit-exact, not merely close), and
+ *  - the batch scheduler, single- and multi-threaded.
+ *
+ * Any bit-level behavior change — intended or not — shows up here as
+ * a hash mismatch at the first divergent step. Intended changes are
+ * re-pinned by re-recording:
+ *
+ *     HFPU_GOLDEN_RECORD=1 ./tests/phys/phys_goldentrace_test
+ *
+ * which rewrites the goldentrace fixtures in the source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fp/precision.h"
+#include "phys/controller.h"
+#include "scen/scenario.h"
+#include "srv/batch.h"
+#include "srv/statehash.h"
+
+using namespace hfpu;
+
+namespace {
+
+constexpr int kSteps = 60;
+
+struct TraceCase {
+    const char *scenario;
+    int bits; // narrow + LCP minimum mantissa width
+};
+
+const TraceCase kCases[] = {
+    {"Breakable", 23},  {"Breakable", 14},  {"Explosions", 23},
+    {"Explosions", 14}, {"Periodic", 23},   {"Periodic", 14},
+    {"Ragdoll", 23},    {"Ragdoll", 14},
+};
+
+std::string
+fixturePath(const TraceCase &c)
+{
+    return std::string(HFPU_FIXTURE_DIR) + "/goldentrace/" + c.scenario +
+           "_" + std::to_string(c.bits) + ".txt";
+}
+
+phys::PrecisionPolicy
+policyFor(const TraceCase &c)
+{
+    phys::PrecisionPolicy policy;
+    policy.minNarrowBits = c.bits;
+    policy.minLcpBits = c.bits;
+    return policy;
+}
+
+/**
+ * The reference execution: a plain serial step loop with the same
+ * per-world setup the batch scheduler performs (captured impulses,
+ * energy-guarded controller, context installed fresh).
+ */
+std::vector<uint64_t>
+runSerial(const TraceCase &c)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setAllMantissaBits(fp::kFullMantissaBits);
+    ctx.setRoundingMode(policyFor(c).roundingMode);
+    ctx.setPhase(fp::Phase::Other);
+
+    scen::Scenario scenario = scen::makeScenario(c.scenario);
+    scenario.world->setCaptureImpulses(true);
+    phys::PrecisionController controller(policyFor(c));
+    scenario.world->setController(&controller);
+
+    std::vector<uint64_t> hashes;
+    hashes.reserve(kSteps);
+    for (int i = 0; i < kSteps; ++i) {
+        scenario.step();
+        hashes.push_back(srv::stateHash(*scenario.world));
+    }
+    scenario.world->setController(nullptr);
+    ctx.setAllMantissaBits(fp::kFullMantissaBits);
+    return hashes;
+}
+
+/** The same trace produced by the batch service. */
+std::vector<uint64_t>
+runBatched(const TraceCase &c, int threads)
+{
+    srv::BatchConfig config;
+    config.threads = threads;
+    srv::JobSpec spec;
+    spec.scenario = c.scenario;
+    spec.steps = kSteps;
+    spec.policy = policyFor(c);
+    spec.hashTrace = true;
+    srv::BatchScheduler scheduler(config);
+    auto results = scheduler.run({spec});
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, srv::WorldStatus::Completed);
+    return results[0].stepHashes;
+}
+
+std::vector<uint64_t>
+loadFixture(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<uint64_t> hashes;
+    int step;
+    std::string hex;
+    while (in >> step >> hex)
+        hashes.push_back(std::strtoull(hex.c_str(), nullptr, 16));
+    return hashes;
+}
+
+void
+saveFixture(const std::string &path, const std::vector<uint64_t> &hashes)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (size_t i = 0; i < hashes.size(); ++i) {
+        char line[48];
+        std::snprintf(line, sizeof line, "%zu %016llx\n", i,
+                      static_cast<unsigned long long>(hashes[i]));
+        out << line;
+    }
+}
+
+void
+expectSameTrace(const std::vector<uint64_t> &expected,
+                const std::vector<uint64_t> &actual, const char *what)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(expected[i], actual[i])
+            << what << ": first divergence at step " << i;
+    }
+}
+
+class GoldenTrace : public ::testing::TestWithParam<TraceCase>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenTrace, SerialMatchesFixture)
+{
+    const TraceCase &c = GetParam();
+    const std::vector<uint64_t> trace = runSerial(c);
+    const std::string path = fixturePath(c);
+    if (std::getenv("HFPU_GOLDEN_RECORD")) {
+        saveFixture(path, trace);
+        GTEST_SKIP() << "recorded " << path;
+    }
+    const std::vector<uint64_t> golden = loadFixture(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing fixture " << path
+        << " (record with HFPU_GOLDEN_RECORD=1)";
+    expectSameTrace(golden, trace, "serial vs fixture");
+}
+
+TEST_P(GoldenTrace, ForcedSlowPathMatchesFixture)
+{
+    if (std::getenv("HFPU_GOLDEN_RECORD"))
+        GTEST_SKIP() << "record mode";
+    const TraceCase &c = GetParam();
+    const std::vector<uint64_t> golden = loadFixture(fixturePath(c));
+    ASSERT_FALSE(golden.empty()) << "missing fixture";
+
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setForceSlowPath(true);
+    const std::vector<uint64_t> trace = runSerial(c);
+    ctx.setForceSlowPath(false);
+    expectSameTrace(golden, trace, "forced slow path vs fixture");
+}
+
+TEST_P(GoldenTrace, BatchedMatchesFixture)
+{
+    if (std::getenv("HFPU_GOLDEN_RECORD"))
+        GTEST_SKIP() << "record mode";
+    const TraceCase &c = GetParam();
+    const std::vector<uint64_t> golden = loadFixture(fixturePath(c));
+    ASSERT_FALSE(golden.empty()) << "missing fixture";
+
+    expectSameTrace(golden, runBatched(c, 1), "batched x1 vs fixture");
+    expectSameTrace(golden, runBatched(c, 4), "batched x4 vs fixture");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GoldenTrace, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<TraceCase> &info) {
+        return std::string(info.param.scenario) + "_" +
+               std::to_string(info.param.bits) + "bit";
+    });

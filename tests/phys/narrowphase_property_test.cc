@@ -12,6 +12,7 @@
 #include <cmath>
 #include <random>
 
+#include "common/rng.h"
 #include "fp/precision.h"
 #include "phys/narrowphase.h"
 
@@ -28,7 +29,7 @@ class NarrowPropertyTest : public ::testing::Test
         hfpu::fp::PrecisionContext::current().reset();
     }
 
-    std::mt19937 rng{2026};
+    std::mt19937 rng = hfpu::test::seededRng(/*salt=*/401);
 
     float
     uniform(float lo, float hi)

@@ -13,6 +13,7 @@
 #include <memory>
 #include <thread>
 
+#include "csim/metrics.h"
 #include "fp/precision.h"
 #include "phys/parallel.h"
 #include "scen/scenario.h"
@@ -270,6 +271,69 @@ TEST(ParallelEngine, FallsBackToSerialWhenRecorderAttached)
     fp::PrecisionContext::current().setRecorder(nullptr);
     EXPECT_GT(recorder.count, 100u);
     fp::PrecisionContext::current().reset();
+}
+
+TEST(WorkerPool, NestedParallelForReenters)
+{
+    // The batch service submits world-level tasks that themselves call
+    // parallelFor on the same pool: the inner batch must drain without
+    // deadlock and cover every index exactly once.
+    WorkerPool pool(4);
+    std::vector<std::atomic<int>> hits(8 * 64);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(
+        8,
+        [&](int outer) {
+            pool.parallelFor(
+                64,
+                [&](int inner) { ++hits[outer * 64 + inner]; },
+                /*grain=*/4);
+        },
+        /*grain=*/1);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ConcurrentSubmittersShareOnePool)
+{
+    // Two external threads drive the same pool at once (the scheduler
+    // does exactly this with world slots); both batches must complete
+    // with exact coverage.
+    WorkerPool pool(3);
+    std::vector<std::atomic<int>> a(500), b(500);
+    for (auto &h : a)
+        h = 0;
+    for (auto &h : b)
+        h = 0;
+    std::thread ta([&] {
+        for (int round = 0; round < 10; ++round)
+            pool.parallelFor(500, [&](int i) { ++a[i]; });
+    });
+    std::thread tb([&] {
+        for (int round = 0; round < 10; ++round)
+            pool.parallelFor(500, [&](int i) { ++b[i]; });
+    });
+    ta.join();
+    tb.join();
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a[i].load(), 10);
+        EXPECT_EQ(b[i].load(), 10);
+    }
+}
+
+TEST(WorkerPool, WorkersInheritSubmitterMetricsNamespace)
+{
+    metrics::Registry::global().reset();
+    WorkerPool pool(4);
+    {
+        metrics::ScopedNamespace ns("w7");
+        pool.parallelFor(
+            64, [&](int) { metrics::Registry::global().count("task"); },
+            /*grain=*/1);
+    }
+    EXPECT_EQ(metrics::Registry::global().counter("w7/task"), 64u);
+    EXPECT_EQ(metrics::Registry::global().counter("task"), 0u);
 }
 
 } // namespace

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Batch scheduler unit tests: result ordering, the determinism
+ * contract (serial == batched x1 == batched xN, inner parallelism on
+ * or off), per-world metric namespacing, quarantine isolation of
+ * broken worlds, progress streaming, and — on machines with enough
+ * cores — the throughput acceptance bar (32 worlds on 8 threads at
+ * least 5x faster than serial, bitwise identical results).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "csim/metrics.h"
+#include "fp/precision.h"
+#include "scen/scenario.h"
+#include "srv/batch.h"
+#include "srv/statehash.h"
+
+using namespace hfpu;
+
+namespace {
+
+bool
+sanitizedBuild()
+{
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    return true;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+std::vector<uint64_t>
+finalHashes(const std::vector<srv::WorldResult> &results)
+{
+    std::vector<uint64_t> hashes;
+    for (const auto &r : results)
+        hashes.push_back(r.finalHash);
+    return hashes;
+}
+
+/** A scenario whose driver poisons one body's velocity at @p step. */
+scen::Scenario
+nanInjectingScenario(int atStep)
+{
+    scen::Scenario s = scen::makeScenario("Periodic");
+    s.name = "NanInjector";
+    auto inner = std::move(s.driver);
+    s.driver = [inner, atStep](phys::World &world, int step) {
+        if (inner)
+            inner(world, step);
+        if (step == atStep && world.bodyCount() > 1) {
+            world.body(1).linVel.x =
+                std::numeric_limits<float>::quiet_NaN();
+        }
+    };
+    return s;
+}
+
+} // namespace
+
+TEST(BatchScheduler, ResultsFollowExpansionOrder)
+{
+    srv::BatchConfig config;
+    config.threads = 4;
+    srv::BatchScheduler scheduler(config);
+
+    srv::JobSpec a;
+    a.scenario = "Periodic";
+    a.steps = 5;
+    a.replicas = 2;
+    srv::JobSpec b;
+    b.scenario = "Breakable";
+    b.steps = 5;
+    auto results = scheduler.run({a, b});
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].scenario, "Periodic");
+    EXPECT_EQ(results[0].replica, 0);
+    EXPECT_EQ(results[1].scenario, "Periodic");
+    EXPECT_EQ(results[1].replica, 1);
+    EXPECT_EQ(results[2].scenario, "Breakable");
+    for (const auto &r : results) {
+        EXPECT_EQ(r.status, srv::WorldStatus::Completed);
+        EXPECT_EQ(r.stepsDone, 5);
+        EXPECT_NE(r.finalHash, 0u);
+    }
+}
+
+TEST(BatchScheduler, ReplicasOfIdenticalConfigAreIdentical)
+{
+    srv::BatchConfig config;
+    config.threads = 2;
+    srv::BatchScheduler scheduler(config);
+    srv::JobSpec spec;
+    spec.scenario = "Explosions";
+    spec.steps = 20;
+    spec.replicas = 3;
+    auto results = scheduler.run({spec});
+    ASSERT_EQ(results.size(), 3u);
+    // Same scenario, same config: replicas are bitwise clones.
+    EXPECT_EQ(results[0].finalHash, results[1].finalHash);
+    EXPECT_EQ(results[0].finalHash, results[2].finalHash);
+}
+
+TEST(BatchScheduler, RandomReplicasFanOutOverSeeds)
+{
+    srv::BatchConfig config;
+    srv::BatchScheduler scheduler(config);
+    srv::JobSpec spec;
+    spec.scenario = "Random";
+    spec.seed = 42;
+    spec.steps = 15;
+    spec.replicas = 3;
+    auto results = scheduler.run({spec});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].scenario, "Random#42");
+    EXPECT_EQ(results[1].scenario, "Random#43");
+    EXPECT_EQ(results[2].scenario, "Random#44");
+    EXPECT_NE(results[0].finalHash, results[1].finalHash);
+    EXPECT_NE(results[1].finalHash, results[2].finalHash);
+}
+
+TEST(BatchScheduler, DeterministicAcrossThreadCountsAndInnerParallelism)
+{
+    std::vector<srv::JobSpec> jobs;
+    {
+        srv::JobSpec spec;
+        spec.scenario = "Random";
+        spec.seed = 9;
+        spec.steps = 30;
+        spec.replicas = 3;
+        spec.hashTrace = true;
+        jobs.push_back(spec);
+        spec.scenario = "Ragdoll";
+        spec.replicas = 1;
+        spec.policy.minLcpBits = 14;
+        spec.policy.minNarrowBits = 16;
+        jobs.push_back(spec);
+    }
+
+    auto runWith = [&](int threads, bool inner) {
+        srv::BatchConfig config;
+        config.threads = threads;
+        config.innerParallel = inner;
+        srv::BatchScheduler scheduler(config);
+        return scheduler.run(jobs);
+    };
+
+    const auto serial = runWith(1, false);
+    const auto batched1 = runWith(1, true);
+    const auto batched4 = runWith(4, true);
+    const auto batched4flat = runWith(4, false);
+
+    ASSERT_EQ(serial.size(), 4u);
+    for (size_t w = 0; w < serial.size(); ++w) {
+        EXPECT_EQ(serial[w].status, srv::WorldStatus::Completed);
+        EXPECT_EQ(serial[w].finalHash, batched1[w].finalHash) << w;
+        EXPECT_EQ(serial[w].finalHash, batched4[w].finalHash) << w;
+        EXPECT_EQ(serial[w].finalHash, batched4flat[w].finalHash) << w;
+        ASSERT_EQ(serial[w].stepHashes.size(), batched4[w].stepHashes.size());
+        for (size_t s = 0; s < serial[w].stepHashes.size(); ++s) {
+            ASSERT_EQ(serial[w].stepHashes[s], batched4[w].stepHashes[s])
+                << "world " << w << " diverged at step " << s;
+        }
+    }
+}
+
+TEST(BatchScheduler, QuarantineIsolatesPoisonedWorld)
+{
+    srv::BatchConfig config;
+    config.threads = 2;
+    srv::BatchScheduler scheduler(config);
+
+    srv::JobSpec poisoned;
+    poisoned.factory = [] { return nanInjectingScenario(5); };
+    poisoned.steps = 30;
+    poisoned.useController = false;
+    srv::JobSpec healthy;
+    healthy.scenario = "Periodic";
+    healthy.steps = 30;
+
+    auto results = scheduler.run({poisoned, healthy});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, srv::WorldStatus::Quarantined);
+    EXPECT_LT(results[0].stepsDone, 30);
+    EXPECT_NE(results[0].quarantineReason.find("non-finite"),
+              std::string::npos)
+        << results[0].quarantineReason;
+    // The poisoned world must not take the batch down.
+    EXPECT_EQ(results[1].status, srv::WorldStatus::Completed);
+    EXPECT_EQ(results[1].stepsDone, 30);
+}
+
+TEST(BatchScheduler, QuarantineCatchesThrowingDriver)
+{
+    srv::BatchScheduler scheduler({});
+    srv::JobSpec job;
+    job.factory = [] {
+        scen::Scenario s = scen::makeScenario("Periodic");
+        s.driver = [](phys::World &, int step) {
+            if (step == 3)
+                throw std::runtime_error("driver exploded");
+        };
+        return s;
+    };
+    job.steps = 10;
+    auto results = scheduler.run({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, srv::WorldStatus::Quarantined);
+    EXPECT_NE(results[0].quarantineReason.find("driver exploded"),
+              std::string::npos);
+}
+
+TEST(BatchScheduler, MetricsAreNamespacedPerWorld)
+{
+    metrics::Registry::global().reset();
+    srv::BatchConfig config;
+    config.threads = 2;
+    srv::BatchScheduler scheduler(config);
+    srv::JobSpec spec;
+    spec.scenario = "Periodic";
+    spec.steps = 12;
+    spec.replicas = 2;
+    scheduler.run({spec});
+
+    auto &reg = metrics::Registry::global();
+    EXPECT_EQ(reg.counter("srv/Periodic@0/phys/steps"), 12u);
+    EXPECT_EQ(reg.counter("srv/Periodic@1/phys/steps"), 12u);
+    // Nothing leaked into the un-namespaced counters.
+    EXPECT_EQ(reg.counter("phys/steps"), 0u);
+}
+
+TEST(BatchScheduler, StreamsSliceGranularProgress)
+{
+    std::vector<srv::WorldProgress> events;
+    srv::BatchConfig config;
+    config.sliceSteps = 10;
+    config.onProgress = [&](const srv::WorldProgress &p) {
+        events.push_back(p);
+    };
+    srv::BatchScheduler scheduler(config);
+    srv::JobSpec spec;
+    spec.scenario = "Periodic";
+    spec.steps = 25;
+    scheduler.run({spec});
+
+    ASSERT_EQ(events.size(), 3u); // 10, 20, 25
+    EXPECT_EQ(events[0].stepsDone, 10);
+    EXPECT_EQ(events[1].stepsDone, 20);
+    EXPECT_EQ(events[2].stepsDone, 25);
+    EXPECT_EQ(events[2].stepsTotal, 25);
+    EXPECT_FALSE(events[2].quarantined);
+}
+
+TEST(BatchScheduler, EmptyJobListYieldsEmptyResults)
+{
+    srv::BatchScheduler scheduler({});
+    EXPECT_TRUE(scheduler.run({}).empty());
+}
+
+TEST(BatchScheduler, SchedulerLeavesCallerPrecisionContextIntact)
+{
+    auto &ctx = fp::PrecisionContext::current();
+    ctx.setMantissaBits(fp::Phase::Lcp, 11);
+    ctx.setRoundingMode(fp::RoundingMode::Truncation);
+
+    srv::BatchScheduler scheduler({});
+    srv::JobSpec spec;
+    spec.scenario = "Periodic";
+    spec.steps = 5;
+    spec.policy.minLcpBits = 20;
+    scheduler.run({spec});
+
+    EXPECT_EQ(ctx.mantissaBits(fp::Phase::Lcp), 11);
+    EXPECT_EQ(ctx.roundingMode(), fp::RoundingMode::Truncation);
+    ctx.setAllMantissaBits(fp::kFullMantissaBits);
+    ctx.setRoundingMode(fp::RoundingMode::Jamming);
+}
+
+/**
+ * The throughput acceptance bar: 32 worlds on 8 threads must beat the
+ * same batch run serially by at least 5x, with bitwise identical
+ * hashes. Needs real cores and an uninstrumented build to be
+ * meaningful, so it skips elsewhere (CI runs it on the perf runner).
+ */
+TEST(BatchScheduler, ThirtyTwoWorldsEightThreadsFiveFold)
+{
+    if (std::thread::hardware_concurrency() < 8)
+        GTEST_SKIP() << "needs >= 8 hardware threads";
+    if (sanitizedBuild())
+        GTEST_SKIP() << "wall-clock assertion meaningless under sanitizers";
+
+    srv::JobSpec spec;
+    spec.scenario = "Random";
+    spec.seed = 1234;
+    spec.steps = 60;
+    spec.replicas = 32;
+
+    auto timeRun = [&](int threads, std::vector<uint64_t> &hashes) {
+        srv::BatchConfig config;
+        config.threads = threads;
+        srv::BatchScheduler scheduler(config);
+        const auto start = std::chrono::steady_clock::now();
+        hashes = finalHashes(scheduler.run({spec}));
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    std::vector<uint64_t> serialHashes, batchedHashes;
+    const double serialSec = timeRun(1, serialHashes);
+    const double batchedSec = timeRun(8, batchedHashes);
+
+    ASSERT_EQ(serialHashes.size(), 32u);
+    EXPECT_EQ(serialHashes, batchedHashes);
+    EXPECT_GE(serialSec / batchedSec, 5.0)
+        << "serial " << serialSec << "s vs 8-thread " << batchedSec << "s";
+}

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Batch simulation service CLI: run many scenario worlds concurrently
+ * over one shared worker pool (src/srv), stream per-world progress,
+ * and emit a machine-readable artifact in the bench_regress schema.
+ *
+ *   sim_server --scenario Explosions --scenario Ragdoll --replicas 4 \
+ *              --steps 200 --threads 8 --lcp-bits 14 --json batch.json
+ *
+ * The determinism contract makes the batch layer a pure throughput
+ * multiplier: the per-world state hashes written by --hashes are
+ * bitwise identical for any --threads value, which the CI smoke job
+ * checks by diffing a 2-thread run against a serial run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "csim/metrics.h"
+#include "fp/precision.h"
+#include "scen/scenario.h"
+#include "srv/batch.h"
+
+using namespace hfpu;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --scenario NAME    scenario to run (repeatable; 'all' = the "
+        "eight paper\n"
+        "                     scenarios; 'Random' = seeded debris "
+        "worlds). One of:", argv0);
+    for (const auto &n : scen::scenarioNames())
+        std::printf(" %s", n.c_str());
+    std::printf(
+        "\n"
+        "  --steps N          steps per world (default 200)\n"
+        "  --replicas K       worlds per scenario (default 1)\n"
+        "  --threads T        shared pool size (default 1)\n"
+        "  --slice N          steps per progress slice (default 25)\n"
+        "  --seed S           base seed for Random scenarios "
+        "(default 1)\n"
+        "  --lcp-bits N       minimum LCP mantissa bits (default 23)\n"
+        "  --narrow-bits N    minimum narrow-phase bits (default 23)\n"
+        "  --mode M           rn | jamming | truncation (default "
+        "jamming)\n"
+        "  --no-controller    fixed precision, no energy guard\n"
+        "  --no-inner         disable island-level parallelism inside "
+        "worlds\n"
+        "  --progress         stream per-world slice progress lines\n"
+        "  --json PATH        write the aggregate artifact "
+        "(bench_regress schema)\n"
+        "  --hashes PATH      write one 'index scenario steps hash "
+        "status' line\n"
+        "                     per world (deterministic across thread "
+        "counts)\n"
+        "  --quick            shortened run (steps capped at 60)\n");
+}
+
+const char *
+statusName(srv::WorldStatus status)
+{
+    return status == srv::WorldStatus::Completed ? "completed"
+                                                 : "quarantined";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> scenarios;
+    int steps = 200;
+    int replicas = 1;
+    int threads = 1;
+    int slice = 25;
+    uint64_t seed = 1;
+    int lcp_bits = 23;
+    int narrow_bits = 23;
+    bool use_controller = true;
+    bool inner_parallel = true;
+    bool stream_progress = false;
+    bool quick = false;
+    std::string json_path;
+    std::string hashes_path;
+    fp::RoundingMode mode = fp::RoundingMode::Jamming;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scenario")) {
+            scenarios.push_back(next());
+        } else if (!std::strcmp(argv[i], "--steps")) {
+            steps = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--replicas")) {
+            replicas = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            threads = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--slice")) {
+            slice = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--lcp-bits")) {
+            lcp_bits = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--narrow-bits")) {
+            narrow_bits = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--no-controller")) {
+            use_controller = false;
+        } else if (!std::strcmp(argv[i], "--no-inner")) {
+            inner_parallel = false;
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            stream_progress = true;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json_path = next();
+        } else if (!std::strcmp(argv[i], "--hashes")) {
+            hashes_path = next();
+        } else if (!std::strcmp(argv[i], "--mode")) {
+            const std::string m = next();
+            if (m == "rn")
+                mode = fp::RoundingMode::RoundToNearest;
+            else if (m == "jamming")
+                mode = fp::RoundingMode::Jamming;
+            else if (m == "truncation")
+                mode = fp::RoundingMode::Truncation;
+            else {
+                usage(argv[0]);
+                return 2;
+            }
+        } else {
+            usage(argv[0]);
+            return !std::strcmp(argv[i], "--help") ? 0 : 2;
+        }
+    }
+
+    if (scenarios.empty())
+        scenarios.push_back("Everything");
+    // Expand "all" in place, wherever it appears in the list.
+    for (size_t i = 0; i < scenarios.size();) {
+        if (scenarios[i] == "all") {
+            const auto &names = scen::scenarioNames();
+            scenarios.erase(scenarios.begin() + i);
+            scenarios.insert(scenarios.begin() + i, names.begin(),
+                             names.end());
+            i += names.size();
+        } else {
+            ++i;
+        }
+    }
+    if (quick)
+        steps = std::min(steps, 60);
+
+    phys::PrecisionPolicy policy;
+    policy.minLcpBits = lcp_bits;
+    policy.minNarrowBits = narrow_bits;
+    policy.roundingMode = mode;
+
+    std::vector<srv::JobSpec> jobs;
+    for (const std::string &name : scenarios) {
+        srv::JobSpec spec;
+        spec.scenario = name;
+        spec.steps = steps;
+        spec.replicas = replicas;
+        spec.seed = seed;
+        spec.policy = policy;
+        spec.useController = use_controller;
+        jobs.push_back(std::move(spec));
+    }
+
+    srv::BatchConfig config;
+    config.threads = threads;
+    config.sliceSteps = slice;
+    config.innerParallel = inner_parallel;
+    if (stream_progress) {
+        config.onProgress = [](const srv::WorldProgress &p) {
+            std::printf("[w%03d %s#%d] step %d/%d energy=%.3f%s\n",
+                        p.world, p.scenario.c_str(), p.replica,
+                        p.stepsDone, p.stepsTotal, p.energy,
+                        p.quarantined ? " QUARANTINED" : "");
+            std::fflush(stdout);
+        };
+    }
+
+    std::printf("sim_server: %zu scenario(s) x %d replica(s) x %d "
+                "steps on %d thread(s), lcp>=%d narrow>=%d bits, %s, "
+                "controller %s\n",
+                scenarios.size(), replicas, steps, threads, lcp_bits,
+                narrow_bits, fp::roundingModeName(mode),
+                use_controller ? "on" : "off");
+
+    metrics::Registry::global().reset();
+    srv::BatchScheduler scheduler(config);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<srv::WorldResult> results = scheduler.run(jobs);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+    int completed = 0, quarantined = 0;
+    long total_steps = 0;
+    double busy_ms = 0.0;
+    for (const auto &r : results) {
+        (r.status == srv::WorldStatus::Completed ? completed
+                                                 : quarantined)++;
+        total_steps += r.stepsDone;
+        busy_ms += r.wallMs;
+    }
+
+    std::printf("\n%5s %-24s %6s %6s %18s %12s  %s\n", "world",
+                "scenario", "steps", "viol", "hash", "energy(J)",
+                "status");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%5zu %-24s %6d %6d  %016llx %12.3f  %s%s%s\n", i,
+                    (r.scenario + "#" + std::to_string(r.replica)).c_str(),
+                    r.stepsDone, r.violations,
+                    static_cast<unsigned long long>(r.finalHash),
+                    r.finalEnergy, statusName(r.status),
+                    r.quarantineReason.empty() ? "" : ": ",
+                    r.quarantineReason.c_str());
+    }
+    std::printf("\n%d world(s): %d completed, %d quarantined; %ld "
+                "steps in %.1f ms wall (%.0f steps/s, speedup est. "
+                "%.2fx)\n",
+                static_cast<int>(results.size()), completed, quarantined,
+                total_steps, wall_ms,
+                wall_ms > 0.0 ? 1000.0 * total_steps / wall_ms : 0.0,
+                wall_ms > 0.0 ? busy_ms / wall_ms : 0.0);
+
+    if (!hashes_path.empty()) {
+        std::FILE *f = std::fopen(hashes_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         hashes_path.c_str());
+            return 1;
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            std::fprintf(f, "w%03zu %s#%d %d %016llx %s\n", i,
+                         r.scenario.c_str(), r.replica, r.stepsDone,
+                         static_cast<unsigned long long>(r.finalHash),
+                         statusName(r.status));
+        }
+        std::fclose(f);
+        std::printf("wrote %s\n", hashes_path.c_str());
+    }
+
+    if (!json_path.empty()) {
+        metrics::Json out = metrics::Json::object();
+        out.set("schema", metrics::Json(1));
+        out.set("bench", metrics::Json("sim_server"));
+        out.set("quick", metrics::Json(quick));
+        metrics::Json m = metrics::Json::object();
+        m.set("worlds", metrics::Json(static_cast<int>(results.size())));
+        m.set("completed", metrics::Json(completed));
+        m.set("quarantined", metrics::Json(quarantined));
+        m.set("total_steps", metrics::Json(static_cast<int64_t>(total_steps)));
+        out.set("metrics", m);
+        metrics::Json info = metrics::Json::object();
+        info.set("threads", metrics::Json(threads));
+        info.set("seed", metrics::Json(static_cast<uint64_t>(seed)));
+        info.set("wall_ms", metrics::Json(wall_ms));
+        info.set("steps_per_sec", metrics::Json(
+            wall_ms > 0.0 ? 1000.0 * total_steps / wall_ms : 0.0));
+        metrics::Json worlds = metrics::Json::array();
+        for (const auto &r : results) {
+            metrics::Json w = metrics::Json::object();
+            w.set("scenario", metrics::Json(r.scenario));
+            w.set("replica", metrics::Json(r.replica));
+            w.set("status", metrics::Json(statusName(r.status)));
+            w.set("steps", metrics::Json(r.stepsDone));
+            char hex[17];
+            std::snprintf(hex, sizeof hex, "%016llx",
+                          static_cast<unsigned long long>(r.finalHash));
+            w.set("hash", metrics::Json(hex));
+            w.set("energy", metrics::Json(r.finalEnergy));
+            w.set("violations", metrics::Json(r.violations));
+            w.set("reexecutions", metrics::Json(r.reexecutions));
+            if (!r.quarantineReason.empty())
+                w.set("reason", metrics::Json(r.quarantineReason));
+            worlds.push(std::move(w));
+        }
+        info.set("worlds", std::move(worlds));
+        out.set("info", std::move(info));
+        out.set("profile", metrics::Registry::global().toJson());
+
+        const std::string text = out.dump();
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        std::fclose(f);
+        if (!ok)
+            return 1;
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    return quarantined == 0 ? 0 : 3;
+}
