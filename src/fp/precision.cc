@@ -52,6 +52,7 @@ PrecisionContext::reset()
     roundingMode_ = RoundingMode::Jamming;
     phase_ = Phase::Other;
     recorder_ = nullptr;
+    faultHook_ = nullptr;
     useSoftFloat_ = false;
     forceSlowPath_ = false;
     refreshMode();
@@ -126,6 +127,12 @@ executeScalarSlow(Opcode op, float fa, float fb)
         : hostExecuteBits(op, a, b);
     if (reduce_op)
         r = reduceMantissa(r, bits, rounding);
+
+    // Fault injection mutates the final stored result — after the
+    // result rounding, before the recorder observes it — so a recorded
+    // trace shows exactly what the engine consumed.
+    if (mode & PrecisionContext::kModeFaultHook)
+        r = ctx.faultHook()->mutateScalarResult(op, r);
 
     if (mode & PrecisionContext::kModeRecorder) {
         ctx.recorder()->record(OpRecord{op, ctx.phase(),

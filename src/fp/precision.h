@@ -64,6 +64,23 @@ class OpRecorder
     virtual void record(const OpRecord &rec) = 0;
 };
 
+/**
+ * Mutator of scalar FP results, consulted by the out-of-line slow path
+ * after reduction and before recording. This is the fault-injection
+ * seam (src/fault): the hook may flip mantissa bits or substitute
+ * NaN/Inf to exercise the believability guard. Like the recorder, an
+ * installed hook disqualifies the inline plain-mode fast path, so a
+ * null hook costs nothing beyond the already-cached mode flags.
+ */
+class ScalarFaultHook
+{
+  public:
+    virtual ~ScalarFaultHook() = default;
+
+    /** Return the (possibly mutated) result bit pattern. */
+    virtual uint32_t mutateScalarResult(Opcode op, uint32_t resultBits) = 0;
+};
+
 namespace detail {
 
 /** constexpr-fill helper so the context can be constant-initialized. */
@@ -135,6 +152,15 @@ class PrecisionContext
         refreshMode();
     }
 
+    /** Optional scalar-result fault hook (nullptr = none). */
+    ScalarFaultHook *faultHook() const { return faultHook_; }
+    void
+    setFaultHook(ScalarFaultHook *hook)
+    {
+        faultHook_ = hook;
+        refreshMode();
+    }
+
     /**
      * When set, exact execution uses the project's soft-float instead of
      * the host FPU (they are tested to agree bit-exactly; the switch
@@ -185,6 +211,7 @@ class PrecisionContext
     static constexpr uint32_t kModeRoundMask = 0x3u;
     static constexpr uint32_t kModeSoftFloat = 1u << 7;
     static constexpr uint32_t kModeRecorder = 1u << 8;
+    static constexpr uint32_t kModeFaultHook = 1u << 9;
 
     static constexpr uint32_t
     packMode(int bits, RoundingMode mode, bool soft, bool rec)
@@ -228,9 +255,10 @@ class PrecisionContext
     {
         const int bits = mantissaBits_[static_cast<int>(phase_)];
         mode_ = packMode(bits, roundingMode_, useSoftFloat_,
-                         recorder_ != nullptr);
+                         recorder_ != nullptr) |
+            (faultHook_ != nullptr ? kModeFaultHook : 0u);
         plainExact_ = !forceSlowPath_ && !useSoftFloat_ &&
-            recorder_ == nullptr;
+            recorder_ == nullptr && faultHook_ == nullptr;
         plain_ = plainExact_ && bits == kFullMantissaBits;
     }
 
@@ -240,6 +268,7 @@ class PrecisionContext
     RoundingMode roundingMode_ = RoundingMode::Jamming;
     Phase phase_ = Phase::Other;
     OpRecorder *recorder_ = nullptr;
+    ScalarFaultHook *faultHook_ = nullptr;
     bool useSoftFloat_ = false;
     bool forceSlowPath_ = false;
     bool plain_ = true;

@@ -1,14 +1,37 @@
 #include "phys/controller.h"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace hfpu {
 namespace phys {
 
+PrecisionPolicy
+validatedPolicy(const PrecisionPolicy &policy)
+{
+    PrecisionPolicy p = policy;
+    p.minNarrowBits =
+        std::clamp(p.minNarrowBits, 0, fp::kFullMantissaBits);
+    p.minLcpBits = std::clamp(p.minLcpBits, 0, fp::kFullMantissaBits);
+    if (!(p.energyThreshold > 0.0) || !std::isfinite(p.energyThreshold)) {
+        throw std::invalid_argument(
+            "PrecisionPolicy.energyThreshold must be positive, got " +
+            std::to_string(policy.energyThreshold));
+    }
+    if (!(p.blowupFactor > 0.0) || !std::isfinite(p.blowupFactor)) {
+        throw std::invalid_argument(
+            "PrecisionPolicy.blowupFactor must be positive, got " +
+            std::to_string(policy.blowupFactor));
+    }
+    return p;
+}
+
 PrecisionController::PrecisionController(const PrecisionPolicy &policy)
-    : policy_(policy),
-      monitor_(policy.energyThreshold, policy.blowupFactor),
-      narrowBits_(policy.minNarrowBits), lcpBits_(policy.minLcpBits)
+    : policy_(validatedPolicy(policy)),
+      monitor_(policy_.energyThreshold, policy_.blowupFactor),
+      narrowBits_(policy_.minNarrowBits), lcpBits_(policy_.minLcpBits)
 {
 }
 
@@ -36,6 +59,13 @@ PrecisionController::endStep(double energy, double injected, bool finite)
         lcpBits_ = fp::kFullMantissaBits;
         return Action::Continue;
       case EnergyMonitor::Verdict::Ok:
+        if (holdSteps_ > 0) {
+            // Post-rollback backoff: stay at full precision until the
+            // hold drains, then resume the normal decay.
+            --holdSteps_;
+            forceFullPrecisionStep();
+            return Action::Continue;
+        }
         // Decay one bit per quiet step back toward the programmed
         // minimums.
         narrowBits_ = std::max(narrowBits_ - 1, policy_.minNarrowBits);
@@ -50,6 +80,13 @@ PrecisionController::forceFullPrecisionStep()
 {
     narrowBits_ = fp::kFullMantissaBits;
     lcpBits_ = fp::kFullMantissaBits;
+}
+
+void
+PrecisionController::holdFullPrecision(int steps)
+{
+    holdSteps_ = std::max(holdSteps_, steps);
+    forceFullPrecisionStep();
 }
 
 void

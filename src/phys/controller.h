@@ -31,6 +31,17 @@ struct PrecisionPolicy {
 };
 
 /**
+ * Validate a developer-provided policy: mantissa widths are clamped
+ * into [0, 23] (a negative width or one past full precision is a
+ * programming slip with an obvious intent), while a non-positive or
+ * non-finite energyThreshold/blowupFactor would silently disable the
+ * believability guard and throws std::invalid_argument instead.
+ * PrecisionController applies this at construction; returns the
+ * sanitized policy.
+ */
+PrecisionPolicy validatedPolicy(const PrecisionPolicy &policy);
+
+/**
  * Runtime precision state machine. The world calls beginStep() before
  * simulating and endStep() after computing the step's energy; a
  * RequestReexecute result means the world should restore its snapshot
@@ -58,6 +69,15 @@ class PrecisionController
     /** Arm one full-precision step (used for re-execution). */
     void forceFullPrecisionStep();
 
+    /**
+     * Precision backoff after a rollback: force full precision now and
+     * suppress the quiet-step decay for the next @p steps steps, so a
+     * replayed window runs conservatively before precision is allowed
+     * to creep back down.
+     */
+    void holdFullPrecision(int steps);
+    int fullPrecisionHoldRemaining() const { return holdSteps_; }
+
     /** Reset history after the world restored a snapshot. */
     void restartEnergyHistory(double energy);
 
@@ -79,6 +99,7 @@ class PrecisionController
     int lcpBits_;
     int violations_ = 0;
     int reexecutions_ = 0;
+    int holdSteps_ = 0;
 };
 
 } // namespace phys

@@ -67,6 +67,18 @@ class Joint
         if (accumulatedImpulse_ > breakImpulse)
             broken_ = true;
     }
+    float accumulatedImpulse() const { return accumulatedImpulse_; }
+    /**
+     * Checkpoint restore (recovery ladder): breakage is the only
+     * mutable per-joint simulation state, so rolling a world back must
+     * be able to un-break a joint that broke after the checkpoint.
+     */
+    void
+    restoreBreakage(bool broken, float accumulated)
+    {
+        broken_ = broken;
+        accumulatedImpulse_ = accumulated;
+    }
     /** @} */
 
   protected:

@@ -1,8 +1,11 @@
 #include "phys/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "csim/metrics.h"
+#include "fault/fault.h"
 #include "fp/precision.h"
 
 namespace hfpu {
@@ -22,6 +25,14 @@ struct ContextSnapshot {
     bool forceSlowPath;
     bool useSoftFloat;
     std::string metricsNamespace;
+    /**
+     * The submitting thread's armed fault injector (usually null).
+     * Only a stall-only injector ever reaches workers this way —
+     * state-affecting injection serializes the world's phases — and it
+     * outlives every nested batch of its world by construction (RAII
+     * arm/disarm around the world's whole slice).
+     */
+    fault::Injector *injector;
 
     static ContextSnapshot
     capture()
@@ -35,6 +46,7 @@ struct ContextSnapshot {
         s.forceSlowPath = ctx.forceSlowPath();
         s.useSoftFloat = ctx.useSoftFloat();
         s.metricsNamespace = metrics::ScopedNamespace::current();
+        s.injector = fault::Injector::current();
         return s;
     }
 
@@ -50,6 +62,7 @@ struct ContextSnapshot {
         ctx.setForceSlowPath(forceSlowPath);
         ctx.setUseSoftFloat(useSoftFloat);
         metrics::ScopedNamespace::exchange(metricsNamespace);
+        fault::Injector::install(injector);
     }
 };
 
@@ -99,6 +112,13 @@ WorkerPool::runChunk(std::unique_lock<std::mutex> &lock, Batch &batch,
     lock.unlock();
     if (applySnapshot)
         batch.snapshot.apply();
+    // Fault seam: an injected stall delays this chunk. Timing only —
+    // results stay bit-identical — which is exactly what makes it a
+    // useful probe of the no-timing-dependence determinism contract.
+    if (fault::Injector *inj = fault::Injector::current()) {
+        if (const int us = inj->chunkStallMicros())
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
     for (int i = begin; i < end; ++i)
         (*batch.fn)(i);
     lock.lock();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "csim/metrics.h"
+#include "fault/fault.h"
 #include "fp/precision.h"
 #include "phys/narrowphase.h"
 
@@ -53,8 +54,14 @@ World::World(const WorldConfig &config) : config_(config)
 bool
 World::parallelAllowed() const
 {
+    // A state-affecting fault injector serializes the phases (like a
+    // recorder or listener) so its per-step draw sequence — and hence
+    // the whole campaign — is deterministic. A stall-only injector
+    // keeps parallelism: stalls change timing, never state.
+    const fault::Injector *injector = fault::Injector::current();
     return activePool() != nullptr && listener_ == nullptr &&
-        fp::PrecisionContext::current().recorder() == nullptr;
+        fp::PrecisionContext::current().recorder() == nullptr &&
+        (injector == nullptr || !injector->affectsState());
 }
 
 BodyId
@@ -191,6 +198,12 @@ World::runPhases()
         std::vector<std::vector<SolverImpulse>> captured(
             captureImpulses_ ? islands_.size() : 0);
         auto solveIsland = [&](int i) {
+            // Fault seam: a non-numeric failure inside one island's
+            // solve. Throws InjectedFault (state-affecting, so the
+            // phases run serially and the throw unwinds out of step()
+            // into the supervisor's recovery ladder).
+            if (fault::Injector *inj = fault::Injector::current())
+                inj->maybeThrowIsland(i);
             const Island &island = islands_[i];
             // Fully sleeping islands are skipped ("object disabling").
             bool all_asleep = true;
@@ -373,6 +386,97 @@ World::stateFinite() const
         if (!body.stateFinite())
             return false;
     }
+    return true;
+}
+
+void
+World::setCheckpointCapacity(int capacity)
+{
+    checkpointCapacity_ = std::max(0, capacity);
+    while (static_cast<int>(checkpoints_.size()) > checkpointCapacity_)
+        checkpoints_.pop_front();
+}
+
+void
+World::pushCheckpoint()
+{
+    if (checkpointCapacity_ <= 0)
+        return;
+    if (!checkpoints_.empty() && checkpoints_.back().step == step_)
+        checkpoints_.pop_back(); // retry of this step: replace
+    Checkpoint cp;
+    cp.step = step_;
+    cp.injectedEnergy = injectedEnergy_;
+    cp.bodies = saveState();
+    cp.forces.reserve(bodies_.size());
+    cp.torques.reserve(bodies_.size());
+    for (const RigidBody &body : bodies_) {
+        cp.forces.push_back(body.force);
+        cp.torques.push_back(body.torque);
+    }
+    cp.joints.reserve(joints_.size());
+    for (const auto &joint : joints_)
+        cp.joints.emplace_back(joint->broken(),
+                               joint->accumulatedImpulse());
+    checkpoints_.push_back(std::move(cp));
+    while (static_cast<int>(checkpoints_.size()) > checkpointCapacity_)
+        checkpoints_.pop_front();
+}
+
+int
+World::rollbackAvailable() const
+{
+    return checkpoints_.empty() ? -1
+                                : step_ - checkpoints_.front().step;
+}
+
+bool
+World::rollbackSteps(int k)
+{
+    if (k < 0)
+        return false;
+    const int target = step_ - k;
+    auto it = checkpoints_.begin();
+    while (it != checkpoints_.end() && it->step != target)
+        ++it;
+    if (it == checkpoints_.end())
+        return false;
+    const Checkpoint cp = std::move(*it);
+    // Consume the target and everything after it: their state is
+    // about to be rewritten, and the retry re-pushes as it replays.
+    checkpoints_.erase(it, checkpoints_.end());
+
+    // Steps may have appended bodies (projectile spawns) and never
+    // remove them, so truncating restores the checkpointed set; same
+    // for joints (only ever added at scenario build time).
+    if (bodies_.size() > cp.bodies.size()) {
+        bodies_.erase(bodies_.begin() +
+                          static_cast<ptrdiff_t>(cp.bodies.size()),
+                      bodies_.end());
+    }
+    if (joints_.size() > cp.joints.size()) {
+        joints_.erase(joints_.begin() +
+                          static_cast<ptrdiff_t>(cp.joints.size()),
+                      joints_.end());
+    }
+    restoreState(cp.bodies);
+    for (size_t i = 0; i < bodies_.size(); ++i) {
+        bodies_[i].force = cp.forces[i];
+        bodies_[i].torque = cp.torques[i];
+    }
+    for (size_t i = 0; i < joints_.size(); ++i)
+        joints_[i]->restoreBreakage(cp.joints[i].first,
+                                    cp.joints[i].second);
+    step_ = cp.step;
+    injectedEnergy_ = cp.injectedEnergy;
+    lastInjected_ = 0.0;
+    // Anything derived from the unwound steps is stale; recompute the
+    // energy reading supervisors re-baseline their monitors from.
+    contacts_.clear();
+    islands_.clear();
+    lastImpulses_.clear();
+    lastPairCount_ = 0;
+    lastEnergy_ = computeCurrentEnergy();
     return true;
 }
 

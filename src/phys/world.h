@@ -16,6 +16,7 @@
  * work units, which is how the cycle simulator's traces are segmented.
  */
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -160,6 +161,38 @@ class World
 
     int stepCount() const { return step_; }
 
+    /** @name Checkpoint ring (recovery ladder).
+     * The controller's single-snapshot re-execute (Section 4.2)
+     * handles one bad step; the ring generalizes it so a supervisor
+     * (the batch scheduler) can roll back K steps when a fault is only
+     * detected after the fact. A checkpoint captures everything a
+     * step can mutate: body state incl. pending force/torque and the
+     * body count (projectile spawns append bodies), joint breakage,
+     * and pending injected energy. The broadphase needs no capture —
+     * its pair set is a pure function of body state.
+     */
+    /** @{ */
+    /** Ring size; 0 (the default) disables checkpointing entirely. */
+    void setCheckpointCapacity(int capacity);
+    int checkpointCapacity() const { return checkpointCapacity_; }
+    /**
+     * Capture the current (pre-step) state. Call before each step;
+     * re-pushing at an already-checkpointed step count replaces that
+     * entry (happens when a step is retried after a rollback).
+     */
+    void pushCheckpoint();
+    /** Deepest rollback depth available (-1 = no checkpoints). */
+    int rollbackAvailable() const;
+    /**
+     * Restore the checkpoint taken at stepCount() - k, rewinding the
+     * step counter; k = 0 retries the current step from its own
+     * pre-step checkpoint. Checkpoints at or past the target are
+     * consumed. Returns false (world untouched) when no checkpoint
+     * exists at that depth.
+     */
+    bool rollbackSteps(int k);
+    /** @} */
+
     /** @name Energy accounting. */
     /** @{ */
     /** Full-precision total energy of the current state. */
@@ -227,6 +260,17 @@ class World
         int sleepFrames;
     };
 
+    /** One entry of the checkpoint ring (full pre-step state). */
+    struct Checkpoint {
+        int step = 0;
+        double injectedEnergy = 0.0;
+        std::vector<BodyState> bodies;
+        std::vector<Vec3> forces;  //!< pending per-body force
+        std::vector<Vec3> torques; //!< pending per-body torque
+        /** Per-joint (broken, accumulated impulse), joint order. */
+        std::vector<std::pair<bool, float>> joints;
+    };
+
     void runPhases();
     void applyForces();
     void integrate();
@@ -259,6 +303,8 @@ class World
     std::vector<SolverImpulse> lastImpulses_;
     int lastPairCount_ = 0;
     int step_ = 0;
+    std::deque<Checkpoint> checkpoints_;
+    int checkpointCapacity_ = 0;
     double injectedEnergy_ = 0.0;
     double lastInjected_ = 0.0;
     EnergyBreakdown lastEnergy_;

@@ -99,7 +99,7 @@ BatchScheduler::threads() const
 }
 
 void
-BatchScheduler::runWorld(WorldTask &task)
+BatchScheduler::runWorld(WorldTask &task, int rehabAttempt)
 {
     const auto start = std::chrono::steady_clock::now();
     const JobSpec &spec = *task.spec;
@@ -109,58 +109,165 @@ BatchScheduler::runWorld(WorldTask &task)
 
     FpContextSaver saved;
     try {
+        // Rehabilitation reruns exist to prove the world is healthy,
+        // not to re-exercise the reduced path: force full precision.
+        phys::PrecisionPolicy policy = phys::validatedPolicy(spec.policy);
+        if (rehabAttempt > 0) {
+            policy.minNarrowBits = fp::kFullMantissaBits;
+            policy.minLcpBits = fp::kFullMantissaBits;
+        }
+
+        // Each world draws its own deterministic fault stream; a rehab
+        // rerun draws a fresh one so deterministic transients (which
+        // are keyed by step) do not simply recur.
+        std::optional<fault::Injector> injector;
+        if (spec.faults.anyEnabled())
+            injector.emplace(
+                spec.faults,
+                (static_cast<uint64_t>(rehabAttempt) << 32) |
+                    static_cast<uint32_t>(task.index));
+
         scen::Scenario scenario =
             spec.factory ? spec.factory() : scen::makeScenario(task.scenario);
         if (spec.factory)
             res.scenario = scenario.name;
         phys::World &world = *scenario.world;
         world.setCaptureImpulses(config_.captureImpulses);
+        world.setCheckpointCapacity(config_.checkpointCapacity);
         if (config_.innerParallel && pool_->threads() > 1)
             world.setSharedPool(pool_.get());
 
         std::optional<phys::PrecisionController> controller;
         if (spec.useController) {
-            controller.emplace(spec.policy);
+            controller.emplace(policy);
             world.setController(&*controller);
         }
         // Unguarded worlds still get the believability monitor — not
-        // to adapt precision, but to detect a blow-up and quarantine.
-        phys::EnergyMonitor monitor(spec.policy.energyThreshold,
-                                    spec.policy.blowupFactor);
+        // to adapt precision, but to detect a blow-up and recover.
+        phys::EnergyMonitor monitor(policy.energyThreshold,
+                                    policy.blowupFactor);
 
         const std::string metricsKey =
-            "srv/" + res.scenario + "@" + std::to_string(task.index);
+            "srv/" + res.scenario + "@" + std::to_string(task.index) +
+            (rehabAttempt > 0 ? "/rehab" : "");
         const int total = std::max(0, spec.steps);
         const int slice =
             config_.sliceSteps > 0 ? config_.sliceSteps : std::max(1, total);
         if (spec.hashTrace)
             res.stepHashes.reserve(total);
 
+        const int base = world.stepCount();
+        int budget = std::max(0, config_.recoveryBudget);
+        // Unguarded worlds replay a rolled-back window at full
+        // precision until the world step count passes this mark (the
+        // controller-guarded equivalent is holdFullPrecision()).
+        int fullUntil = base;
+
+        // The recovery ladder: roll back and replay at full precision
+        // while the retry budget lasts, then quarantine with a
+        // structured reason. Returns false when the world is dead.
+        // Must run inside the slice's metric namespace so the recovery
+        // counters land with the world's other metrics.
+        auto recover = [&](const std::string &cause) {
+            RecoveryEvent ev;
+            ev.step = world.stepCount() - base;
+            ev.cause = cause;
+            ev.relDelta = monitor.lastRelativeDelta();
+            const int avail = world.rollbackAvailable();
+            const int depth =
+                std::min(config_.rollbackSteps, std::max(avail, 0));
+            if (budget > 0 && avail >= 0 && world.rollbackSteps(depth)) {
+                --budget;
+                ++res.rollbacks;
+                ev.action = "rollback";
+                ev.rollbackSteps = depth;
+                ev.budgetLeft = budget;
+                res.recoveryEvents.push_back(ev);
+                metrics::Registry::global().count("recovery/rollback");
+                res.stepsDone = world.stepCount() - base;
+                if (spec.hashTrace)
+                    res.stepHashes.resize(
+                        static_cast<size_t>(res.stepsDone));
+                const double energy = world.lastEnergy().total();
+                if (controller) {
+                    controller->holdFullPrecision(depth + 1);
+                    controller->restartEnergyHistory(energy);
+                } else {
+                    monitor.restart(energy);
+                    fullUntil = world.stepCount() + depth + 1;
+                }
+                return true;
+            }
+            res.status = WorldStatus::Quarantined;
+            ev.action = "quarantine";
+            ev.budgetLeft = budget;
+            res.recoveryEvents.push_back(ev);
+            metrics::Registry::global().count("recovery/quarantine");
+            std::string reason = cause + " (step " +
+                std::to_string(ev.step) +
+                ", relDelta=" + std::to_string(ev.relDelta);
+            if (controller)
+                reason += ", narrowBits=" +
+                    std::to_string(controller->currentNarrowBits()) +
+                    ", lcpBits=" +
+                    std::to_string(controller->currentLcpBits());
+            reason += ", rollbacks=" + std::to_string(res.rollbacks);
+            reason += budget > 0 ? ", no checkpoint available)"
+                                 : ", retry budget exhausted)";
+            res.quarantineReason = reason;
+            return false;
+        };
+
         while (res.stepsDone < total &&
                res.status == WorldStatus::Completed) {
             const int sliceEnd = std::min(total, res.stepsDone + slice);
             {
                 metrics::ScopedNamespace ns(metricsKey);
-                installWorldContext(spec.policy, spec.useController);
+                installWorldContext(policy, spec.useController);
                 while (res.stepsDone < sliceEnd) {
-                    scenario.step();
+                    world.pushCheckpoint();
+                    if (injector)
+                        injector->beginStep(world.stepCount());
+                    if (!spec.useController) {
+                        auto &ctx = fp::PrecisionContext::current();
+                        const bool full = world.stepCount() < fullUntil;
+                        ctx.setMantissaBits(fp::Phase::Narrow,
+                                            full ? fp::kFullMantissaBits
+                                                 : policy.minNarrowBits);
+                        ctx.setMantissaBits(fp::Phase::Lcp,
+                                            full ? fp::kFullMantissaBits
+                                                 : policy.minLcpBits);
+                    }
+                    std::string cause;
+                    try {
+                        fault::ScopedInjection arm(
+                            injector ? &*injector : nullptr);
+                        scenario.step();
+                    } catch (const std::exception &e) {
+                        cause = std::string("exception: ") + e.what();
+                    }
+                    if (!cause.empty()) {
+                        if (!recover(cause))
+                            break;
+                        continue;
+                    }
                     ++res.stepsDone;
                     if (spec.hashTrace)
                         res.stepHashes.push_back(stateHash(world));
                     if (!world.stateFinite()) {
-                        res.status = WorldStatus::Quarantined;
-                        res.quarantineReason = "non-finite state after step " +
-                            std::to_string(res.stepsDone);
-                        break;
+                        if (!recover("non-finite state after step " +
+                                     std::to_string(res.stepsDone)))
+                            break;
+                        continue;
                     }
                     if (!spec.useController &&
                         monitor.observe(world.lastEnergy().total(),
                                         world.lastInjectedEnergy(), true) ==
                             phys::EnergyMonitor::Verdict::BlowUp) {
-                        res.status = WorldStatus::Quarantined;
-                        res.quarantineReason = "energy blow-up after step " +
-                            std::to_string(res.stepsDone);
-                        break;
+                        if (!recover("energy blow-up after step " +
+                                     std::to_string(res.stepsDone)))
+                            break;
+                        continue;
                     }
                 }
             }
@@ -181,12 +288,16 @@ BatchScheduler::runWorld(WorldTask &task)
 
         res.finalEnergy = world.lastEnergy().total();
         res.finalHash = stateHash(world);
+        if (injector)
+            res.faultStats = injector->stats();
         if (controller) {
             res.violations = controller->violations();
             res.reexecutions = controller->reexecutions();
             world.setController(nullptr);
         }
     } catch (const std::exception &e) {
+        // Failures outside the step loop (scenario construction, an
+        // invalid policy) have no checkpoint to return to.
         res.status = WorldStatus::Quarantined;
         res.quarantineReason = std::string("exception: ") + e.what();
     }
@@ -252,6 +363,54 @@ BatchScheduler::run(const std::vector<JobSpec> &jobs)
                     runWorld(*task);
             },
             /*grain=*/1);
+    }
+
+    // Rehabilitation pass: every quarantined world gets full-precision
+    // from-scratch reruns (each on a fresh fault stream). Serial and
+    // in task order, so batch results stay deterministic across thread
+    // counts. A cured world's result replaces the quarantined one,
+    // with the combined ladder history; a failed rehab keeps the
+    // original structured reason.
+    if (config_.rehabAttempts > 0) {
+        for (WorldTask &task : tasks) {
+            if (task.result.status != WorldStatus::Quarantined)
+                continue;
+            WorldResult original = std::move(task.result);
+            bool cured = false;
+            for (int attempt = 1;
+                 attempt <= config_.rehabAttempts && !cured; ++attempt) {
+                task.result = WorldResult{};
+                runWorld(task, attempt);
+                cured = task.result.status == WorldStatus::Completed;
+            }
+            if (cured) {
+                WorldResult &res = task.result;
+                res.rehabilitated = true;
+                res.rollbacks += original.rollbacks;
+                RecoveryEvent ev;
+                ev.step = res.stepsDone;
+                ev.action = "rehabilitated";
+                ev.cause = original.quarantineReason;
+                std::vector<RecoveryEvent> events =
+                    std::move(original.recoveryEvents);
+                events.insert(events.end(), res.recoveryEvents.begin(),
+                              res.recoveryEvents.end());
+                events.push_back(std::move(ev));
+                res.recoveryEvents = std::move(events);
+                metrics::Registry::global().count(
+                    "srv/recovery/rehabilitated");
+            } else {
+                task.result = std::move(original);
+                task.result.quarantineReason += "; rehabilitation failed";
+                RecoveryEvent ev;
+                ev.step = task.result.stepsDone;
+                ev.action = "rehab-failed";
+                ev.cause = task.result.quarantineReason;
+                task.result.recoveryEvents.push_back(std::move(ev));
+                metrics::Registry::global().count(
+                    "srv/recovery/rehab_failed");
+            }
+        }
     }
 
     std::vector<WorldResult> results;

@@ -24,11 +24,20 @@
  * pure function of its scenario and precision config: bitwise
  * identical run serially, batched on 1 thread, or batched on 16.
  *
- * Failure isolation: a world whose energy monitor reports a blow-up
- * that full-precision re-execution cannot cure (non-finite state), or
- * whose driver throws, is quarantined — reported in its result slot
- * with the reason and the step it died at — without taking down the
- * rest of the batch.
+ * Failure isolation is a recovery *ladder*, not a single trapdoor.
+ * When a step fails — non-finite state, an unguarded energy blow-up,
+ * or a thrown exception (including injected faults, src/fault) — the
+ * scheduler rolls the world back K steps to a checkpoint from the
+ * world's ring (World::pushCheckpoint is called before every step),
+ * replays the window at full precision (precision backoff), and only
+ * after the per-world retry budget is exhausted quarantines the world
+ * with a structured reason — without taking down the rest of the
+ * batch. Quarantined worlds get a rehabilitation pass at the end of
+ * the batch: a from-scratch rerun at full precision that replaces the
+ * quarantined result when it completes. Every recovery action is
+ * recorded in WorldResult::recoveryEvents and counted in the metrics
+ * registry, so a chaos campaign is diagnosable from the JSON artifact
+ * alone.
  */
 
 #include <cstdint>
@@ -37,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "phys/controller.h"
 #include "phys/parallel.h"
 #include "scen/scenario.h"
@@ -66,6 +76,12 @@ struct JobSpec {
     bool useController = true;
     /** Record a per-step state-hash trace in the result. */
     bool hashTrace = false;
+    /**
+     * Fault-injection campaign for this job (all rates zero = none).
+     * Each world draws an independent deterministic stream keyed by
+     * its global batch index.
+     */
+    fault::FaultSpec faults;
     /** Test hook: build the scenario directly, overriding @p scenario. */
     std::function<scen::Scenario()> factory;
 };
@@ -74,6 +90,18 @@ struct JobSpec {
 enum class WorldStatus {
     Completed,   //!< ran all requested steps
     Quarantined, //!< isolated after a blow-up or an exception
+};
+
+/** One action of the recovery ladder, in the order it happened. */
+struct RecoveryEvent {
+    int step = 0;            //!< world step count at detection
+    /** "rollback", "quarantine", "rehabilitated", or "rehab-failed". */
+    std::string action;
+    /** What tripped the ladder ("non-finite state", "exception: ..."). */
+    std::string cause;
+    int rollbackSteps = 0;   //!< rollback depth (rollback events)
+    double relDelta = 0.0;   //!< monitor's last relative energy delta
+    int budgetLeft = 0;      //!< retry budget remaining afterwards
 };
 
 /** Outcome of one world, in deterministic job-expansion order. */
@@ -87,6 +115,10 @@ struct WorldResult {
     double finalEnergy = 0.0;
     int violations = 0;       //!< controller throttle-ups
     int reexecutions = 0;     //!< controller full-precision redos
+    int rollbacks = 0;        //!< recovery-ladder rollbacks taken
+    bool rehabilitated = false; //!< completed only via the rehab pass
+    std::vector<RecoveryEvent> recoveryEvents; //!< ladder history
+    fault::FaultStats faultStats; //!< injections, when faults armed
     std::string quarantineReason; //!< empty unless quarantined
     double wallMs = 0.0;      //!< this world's own wall-clock time
 };
@@ -120,6 +152,23 @@ struct BatchConfig {
     bool innerParallel = true;
     /** Capture solver impulses so state hashes cover them. */
     bool captureImpulses = true;
+    /** @name Recovery ladder. */
+    /** @{ */
+    /**
+     * Per-world checkpoint ring size (0 disables rollback; failures
+     * then quarantine immediately, the pre-ladder behavior).
+     */
+    int checkpointCapacity = 4;
+    /** Rollback depth per recovery (clamped to what the ring holds). */
+    int rollbackSteps = 3;
+    /** Recoveries allowed per world before it is quarantined. */
+    int recoveryBudget = 3;
+    /**
+     * Full-precision from-scratch reruns granted to each quarantined
+     * world at the end of the batch (0 disables rehabilitation).
+     */
+    int rehabAttempts = 1;
+    /** @} */
     /**
      * Progress sink, invoked under the scheduler's mutex (thread-safe
      * for the callee) after every slice. May be empty.
@@ -154,7 +203,12 @@ class BatchScheduler
   private:
     struct WorldTask;
 
-    void runWorld(WorldTask &task);
+    /**
+     * Simulate one world. @p rehabAttempt 0 is the primary run;
+     * N > 0 is the Nth rehabilitation rerun (full precision, and a
+     * distinct fault stream so injected transients do not recur).
+     */
+    void runWorld(WorldTask &task, int rehabAttempt = 0);
 
     BatchConfig config_;
     std::unique_ptr<phys::WorkerPool> pool_;

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Checkpoint-ring and rollback tests (the World half of the recovery
+ * ladder), plus PrecisionPolicy validation and the controller's
+ * post-rollback full-precision hold. The core contract: rolling back
+ * K steps and replaying them reproduces the original trajectory
+ * bitwise — a checkpoint captures *everything* a step can mutate,
+ * including pending forces, joint breakage, and spawned bodies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fp/precision.h"
+#include "fp/types.h"
+#include "phys/controller.h"
+#include "phys/world.h"
+
+namespace {
+
+using namespace hfpu::phys;
+using hfpu::fp::floatBits;
+using hfpu::fp::PrecisionContext;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { PrecisionContext::current().reset(); }
+    void TearDown() override { PrecisionContext::current().reset(); }
+
+    /** A small but lively world: ground, a stack, and a pendulum. */
+    static void
+    build(World &world)
+    {
+        world.addBody(RigidBody::makeStatic(
+            Shape::plane({0.0f, 1.0f, 0.0f}, 0.0f), {}));
+        for (int i = 0; i < 3; ++i)
+            world.addBody(RigidBody(Shape::box({0.5f, 0.25f, 0.5f}),
+                                    2.0f,
+                                    {0.0f, 0.26f + 0.51f * i, 0.0f}));
+        const BodyId anchor = world.addBody(RigidBody::makeStatic(
+            Shape::sphere(0.1f), {3.0f, 2.0f, 0.0f}));
+        const BodyId bob = world.addBody(
+            RigidBody(Shape::sphere(0.1f), 1.0f, {4.0f, 2.0f, 0.0f}));
+        world.addJoint(std::make_unique<BallJoint>(
+            world.bodies(), anchor, bob, Vec3{3.0f, 2.0f, 0.0f}));
+    }
+
+    static void
+    expectBitwiseEqual(const World &a, const World &b)
+    {
+        ASSERT_EQ(a.bodyCount(), b.bodyCount());
+        for (size_t i = 0; i < a.bodyCount(); ++i) {
+            const RigidBody &x = a.body(static_cast<BodyId>(i));
+            const RigidBody &y = b.body(static_cast<BodyId>(i));
+            const float xs[] = {x.pos.x,    x.pos.y,    x.pos.z,
+                                x.linVel.x, x.linVel.y, x.linVel.z,
+                                x.angVel.x, x.angVel.y, x.angVel.z,
+                                x.orient.w, x.orient.x, x.orient.y,
+                                x.orient.z, x.force.x,  x.force.y,
+                                x.force.z,  x.torque.x, x.torque.y,
+                                x.torque.z};
+            const float ys[] = {y.pos.x,    y.pos.y,    y.pos.z,
+                                y.linVel.x, y.linVel.y, y.linVel.z,
+                                y.angVel.x, y.angVel.y, y.angVel.z,
+                                y.orient.w, y.orient.x, y.orient.y,
+                                y.orient.z, y.force.x,  y.force.y,
+                                y.force.z,  y.torque.x, y.torque.y,
+                                y.torque.z};
+            for (size_t f = 0; f < sizeof(xs) / sizeof(xs[0]); ++f)
+                ASSERT_EQ(floatBits(xs[f]), floatBits(ys[f]))
+                    << "body " << i << " field " << f;
+        }
+        ASSERT_EQ(a.joints().size(), b.joints().size());
+        for (size_t j = 0; j < a.joints().size(); ++j)
+            EXPECT_EQ(a.joints()[j]->broken(), b.joints()[j]->broken());
+    }
+};
+
+} // namespace
+
+TEST_F(CheckpointTest, DisabledByDefault)
+{
+    World world;
+    build(world);
+    EXPECT_EQ(world.checkpointCapacity(), 0);
+    world.pushCheckpoint(); // no-op
+    EXPECT_EQ(world.rollbackAvailable(), -1);
+    EXPECT_FALSE(world.rollbackSteps(0));
+}
+
+TEST_F(CheckpointTest, RingKeepsTheLastCapacityEntries)
+{
+    World world;
+    build(world);
+    world.setCheckpointCapacity(2);
+    for (int i = 0; i < 5; ++i) {
+        world.pushCheckpoint();
+        world.step();
+    }
+    // Entries survive for steps 3 and 4 only.
+    EXPECT_EQ(world.rollbackAvailable(), 2);
+    EXPECT_FALSE(world.rollbackSteps(3));
+    EXPECT_EQ(world.stepCount(), 5);
+    EXPECT_TRUE(world.rollbackSteps(2));
+    EXPECT_EQ(world.stepCount(), 3);
+}
+
+TEST_F(CheckpointTest, RollbackAndReplayIsBitwiseIdentical)
+{
+    World reference, test;
+    build(reference);
+    build(test);
+    test.setCheckpointCapacity(6);
+
+    for (int i = 0; i < 20; ++i)
+        reference.step();
+    for (int i = 0; i < 20; ++i) {
+        test.pushCheckpoint();
+        test.step();
+    }
+    expectBitwiseEqual(reference, test);
+
+    // Roll four steps back and replay them: the trajectory must
+    // reconverge exactly, not approximately.
+    ASSERT_TRUE(test.rollbackSteps(4));
+    EXPECT_EQ(test.stepCount(), 16);
+    for (int i = 0; i < 4; ++i) {
+        test.pushCheckpoint();
+        test.step();
+    }
+    EXPECT_EQ(test.stepCount(), 20);
+    expectBitwiseEqual(reference, test);
+}
+
+TEST_F(CheckpointTest, RollbackZeroRetriesTheCurrentStep)
+{
+    World reference, test;
+    build(reference);
+    build(test);
+    test.setCheckpointCapacity(2);
+
+    for (int i = 0; i < 5; ++i)
+        reference.step();
+    for (int i = 0; i < 5; ++i) {
+        test.pushCheckpoint();
+        test.step();
+    }
+    // Pre-step checkpoint exists at the current count: k=0 rewinds the
+    // world to just before a step that failed without completing.
+    test.pushCheckpoint();
+    ASSERT_TRUE(test.rollbackSteps(0));
+    EXPECT_EQ(test.stepCount(), 5);
+    expectBitwiseEqual(reference, test);
+}
+
+TEST_F(CheckpointTest, RollbackRestoresSpawnedBodyCount)
+{
+    World world;
+    build(world);
+    world.setCheckpointCapacity(4);
+    for (int i = 0; i < 3; ++i) {
+        world.pushCheckpoint();
+        world.step();
+    }
+    const size_t before = world.bodyCount();
+    world.spawnProjectile(Shape::sphere(0.2f), 1.0f,
+                          {0.0f, 5.0f, 0.0f}, {0.0f, -10.0f, 0.0f});
+    ASSERT_EQ(world.bodyCount(), before + 1);
+    world.pushCheckpoint();
+    world.step();
+
+    // Rolling back past the spawn must also un-spawn the projectile
+    // and drop its pending injected energy.
+    ASSERT_TRUE(world.rollbackSteps(2));
+    EXPECT_EQ(world.bodyCount(), before);
+    EXPECT_EQ(world.stepCount(), 2);
+}
+
+TEST_F(CheckpointTest, RollbackUnbreaksJoints)
+{
+    World world;
+    const BodyId anchor = world.addBody(RigidBody::makeStatic(
+        Shape::sphere(0.1f), {0.0f, 4.0f, 0.0f}));
+    const BodyId bob = world.addBody(
+        RigidBody(Shape::sphere(0.1f), 5.0f, {1.0f, 4.0f, 0.0f}));
+    Joint *joint = world.addJoint(std::make_unique<BallJoint>(
+        world.bodies(), anchor, bob, Vec3{0.0f, 4.0f, 0.0f}));
+    joint->breakImpulse = 0.05f; // breaks almost immediately
+    world.setCheckpointCapacity(8);
+
+    int brokeAt = -1;
+    for (int i = 0; i < 60 && brokeAt < 0; ++i) {
+        world.pushCheckpoint();
+        world.step();
+        if (joint->broken())
+            brokeAt = world.stepCount();
+    }
+    ASSERT_GT(brokeAt, 0) << "joint never broke";
+
+    ASSERT_TRUE(world.rollbackSteps(1));
+    EXPECT_FALSE(joint->broken());
+    world.pushCheckpoint();
+    world.step();
+    EXPECT_TRUE(joint->broken()) << "deterministic replay re-breaks";
+}
+
+TEST(ValidatedPolicy, ClampsMantissaWidths)
+{
+    PrecisionPolicy policy;
+    policy.minNarrowBits = -5;
+    policy.minLcpBits = 99;
+    const PrecisionPolicy v = validatedPolicy(policy);
+    EXPECT_EQ(v.minNarrowBits, 0);
+    EXPECT_EQ(v.minLcpBits, hfpu::fp::kFullMantissaBits);
+}
+
+TEST(ValidatedPolicy, RejectsUnusableGuardThresholds)
+{
+    PrecisionPolicy policy;
+    policy.energyThreshold = 0.0;
+    EXPECT_THROW(validatedPolicy(policy), std::invalid_argument);
+    policy.energyThreshold = -1.0;
+    EXPECT_THROW(validatedPolicy(policy), std::invalid_argument);
+    policy.energyThreshold = std::nan("");
+    EXPECT_THROW(validatedPolicy(policy), std::invalid_argument);
+
+    policy = PrecisionPolicy{};
+    policy.blowupFactor = 0.0;
+    EXPECT_THROW(validatedPolicy(policy), std::invalid_argument);
+    // The controller applies the same validation at construction.
+    EXPECT_THROW(PrecisionController bad(policy), std::invalid_argument);
+}
+
+TEST(ValidatedPolicy, ControllerConstructorClampsWidths)
+{
+    PrecisionPolicy policy;
+    policy.minNarrowBits = -3;
+    PrecisionController controller(policy);
+    EXPECT_EQ(controller.policy().minNarrowBits, 0);
+}
+
+TEST(ControllerHold, HoldsFullPrecisionThroughQuietSteps)
+{
+    PrecisionPolicy policy;
+    policy.minNarrowBits = 10;
+    policy.minLcpBits = 10;
+    PrecisionController controller(policy);
+
+    controller.holdFullPrecision(2);
+    EXPECT_EQ(controller.currentNarrowBits(),
+              hfpu::fp::kFullMantissaBits);
+    // Two quiet steps stay pinned at full precision...
+    for (int i = 0; i < 2; ++i) {
+        controller.endStep(/*energy=*/100.0, /*injected=*/0.0, true);
+        EXPECT_EQ(controller.currentNarrowBits(),
+                  hfpu::fp::kFullMantissaBits)
+            << "hold broke at step " << i;
+    }
+    EXPECT_EQ(controller.fullPrecisionHoldRemaining(), 0);
+    // ...then the normal one-bit-per-step decay resumes.
+    controller.endStep(100.0, 0.0, true);
+    EXPECT_EQ(controller.currentNarrowBits(),
+              hfpu::fp::kFullMantissaBits - 1);
+}

@@ -14,6 +14,7 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "csim/metrics.h"
+#include "fault/fault.h"
 #include "fp/precision.h"
 #include "scen/scenario.h"
 #include "srv/batch.h"
@@ -63,7 +65,22 @@ usage(const char *argv0)
         "status' line\n"
         "                     per world (deterministic across thread "
         "counts)\n"
-        "  --quick            shortened run (steps capped at 60)\n");
+        "  --quick            shortened run (steps capped at 60)\n"
+        "chaos campaign (deterministic fault injection, src/fault):\n"
+        "  --fault-spec SPEC  arm the injector, e.g.\n"
+        "                     "
+        "'seed=7,bitflip=0.01,throw=0.005,steps=10..80'\n"
+        "                     keys: seed, bitflip, nan, inf, table, "
+        "throw, stall,\n"
+        "                     steps=a..b, max=N, stall-us=N\n"
+        "  --checkpoints N    per-world checkpoint ring size "
+        "(default 4; 0 = off)\n"
+        "  --rollback K       steps rolled back per recovery "
+        "(default 3)\n"
+        "  --recovery-budget N  recoveries per world before "
+        "quarantine (default 3)\n"
+        "  --rehab-attempts N full-precision reruns for quarantined "
+        "worlds (default 1)\n");
 }
 
 const char *
@@ -71,6 +88,43 @@ statusName(srv::WorldStatus status)
 {
     return status == srv::WorldStatus::Completed ? "completed"
                                                  : "quarantined";
+}
+
+/**
+ * Strict numeric parsing: a flag that looks numeric but is not (or
+ * trails garbage, or overflows) is a misconfigured campaign, and a
+ * silently-zero value would run the wrong experiment. Error + exit 2.
+ */
+long
+parseIntArg(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "sim_server: error: %s expects an integer, got "
+                     "'%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+uint64_t
+parseU64Arg(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || text[0] == '-') {
+        std::fprintf(stderr,
+                     "sim_server: error: %s expects an unsigned "
+                     "integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return static_cast<uint64_t>(v);
 }
 
 } // namespace
@@ -93,31 +147,63 @@ main(int argc, char **argv)
     std::string json_path;
     std::string hashes_path;
     fp::RoundingMode mode = fp::RoundingMode::Jamming;
+    fault::FaultSpec faults; // all rates zero = injection disabled
+    bool fault_mode = false;
+    int checkpoints = 4;
+    int rollback = 3;
+    int recovery_budget = 3;
+    int rehab_attempts = 1;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
-                usage(argv[0]);
+                std::fprintf(stderr,
+                             "sim_server: error: %s expects a value\n",
+                             argv[i]);
                 std::exit(2);
             }
             return argv[++i];
         };
+        auto nextInt = [&]() {
+            const char *flag = argv[i];
+            return static_cast<int>(parseIntArg(flag, next()));
+        };
         if (!std::strcmp(argv[i], "--scenario")) {
             scenarios.push_back(next());
         } else if (!std::strcmp(argv[i], "--steps")) {
-            steps = std::atoi(next());
+            steps = nextInt();
         } else if (!std::strcmp(argv[i], "--replicas")) {
-            replicas = std::atoi(next());
+            replicas = nextInt();
         } else if (!std::strcmp(argv[i], "--threads")) {
-            threads = std::atoi(next());
+            threads = nextInt();
         } else if (!std::strcmp(argv[i], "--slice")) {
-            slice = std::atoi(next());
+            slice = nextInt();
         } else if (!std::strcmp(argv[i], "--seed")) {
-            seed = std::strtoull(next(), nullptr, 10);
+            seed = parseU64Arg("--seed", next());
         } else if (!std::strcmp(argv[i], "--lcp-bits")) {
-            lcp_bits = std::atoi(next());
+            lcp_bits = nextInt();
         } else if (!std::strcmp(argv[i], "--narrow-bits")) {
-            narrow_bits = std::atoi(next());
+            narrow_bits = nextInt();
+        } else if (!std::strcmp(argv[i], "--fault-spec")) {
+            const char *text = next();
+            std::string error;
+            faults = fault::FaultSpec::parse(text, &error);
+            if (!error.empty()) {
+                std::fprintf(stderr,
+                             "sim_server: error: bad --fault-spec "
+                             "'%s': %s\n",
+                             text, error.c_str());
+                return 2;
+            }
+            fault_mode = true;
+        } else if (!std::strcmp(argv[i], "--checkpoints")) {
+            checkpoints = nextInt();
+        } else if (!std::strcmp(argv[i], "--rollback")) {
+            rollback = nextInt();
+        } else if (!std::strcmp(argv[i], "--recovery-budget")) {
+            recovery_budget = nextInt();
+        } else if (!std::strcmp(argv[i], "--rehab-attempts")) {
+            rehab_attempts = nextInt();
         } else if (!std::strcmp(argv[i], "--no-controller")) {
             use_controller = false;
         } else if (!std::strcmp(argv[i], "--no-inner")) {
@@ -139,12 +225,21 @@ main(int argc, char **argv)
             else if (m == "truncation")
                 mode = fp::RoundingMode::Truncation;
             else {
-                usage(argv[0]);
+                std::fprintf(stderr,
+                             "sim_server: error: --mode expects rn | "
+                             "jamming | truncation, got '%s'\n",
+                             m.c_str());
                 return 2;
             }
-        } else {
+        } else if (!std::strcmp(argv[i], "--help")) {
             usage(argv[0]);
-            return !std::strcmp(argv[i], "--help") ? 0 : 2;
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "sim_server: error: unknown option '%s'\n",
+                         argv[i]);
+            usage(argv[0]);
+            return 2;
         }
     }
 
@@ -179,6 +274,7 @@ main(int argc, char **argv)
         spec.seed = seed;
         spec.policy = policy;
         spec.useController = use_controller;
+        spec.faults = faults;
         jobs.push_back(std::move(spec));
     }
 
@@ -186,6 +282,10 @@ main(int argc, char **argv)
     config.threads = threads;
     config.sliceSteps = slice;
     config.innerParallel = inner_parallel;
+    config.checkpointCapacity = checkpoints;
+    config.rollbackSteps = rollback;
+    config.recoveryBudget = recovery_budget;
+    config.rehabAttempts = rehab_attempts;
     if (stream_progress) {
         config.onProgress = [](const srv::WorldProgress &p) {
             std::printf("[w%03d %s#%d] step %d/%d energy=%.3f%s\n",
@@ -202,6 +302,11 @@ main(int argc, char **argv)
                 scenarios.size(), replicas, steps, threads, lcp_bits,
                 narrow_bits, fp::roundingModeName(mode),
                 use_controller ? "on" : "off");
+    if (fault_mode)
+        std::printf("chaos campaign: %s (checkpoints=%d rollback=%d "
+                    "budget=%d rehab=%d)\n",
+                    faults.describe().c_str(), checkpoints, rollback,
+                    recovery_budget, rehab_attempts);
 
     metrics::Registry::global().reset();
     srv::BatchScheduler scheduler(config);
@@ -211,34 +316,41 @@ main(int argc, char **argv)
                                std::chrono::steady_clock::now() - start)
                                .count();
 
-    int completed = 0, quarantined = 0;
-    long total_steps = 0;
+    int completed = 0, quarantined = 0, rehabilitated = 0;
+    long total_steps = 0, total_rollbacks = 0, total_injected = 0;
     double busy_ms = 0.0;
     for (const auto &r : results) {
         (r.status == srv::WorldStatus::Completed ? completed
                                                  : quarantined)++;
+        rehabilitated += r.rehabilitated ? 1 : 0;
         total_steps += r.stepsDone;
+        total_rollbacks += r.rollbacks;
+        total_injected += static_cast<long>(r.faultStats.total());
         busy_ms += r.wallMs;
     }
 
-    std::printf("\n%5s %-24s %6s %6s %18s %12s  %s\n", "world",
-                "scenario", "steps", "viol", "hash", "energy(J)",
-                "status");
+    std::printf("\n%5s %-24s %6s %6s %6s %18s %12s  %s\n", "world",
+                "scenario", "steps", "viol", "rollbk", "hash",
+                "energy(J)", "status");
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
-        std::printf("%5zu %-24s %6d %6d  %016llx %12.3f  %s%s%s\n", i,
+        std::printf("%5zu %-24s %6d %6d %6d  %016llx %12.3f  %s%s%s%s\n",
+                    i,
                     (r.scenario + "#" + std::to_string(r.replica)).c_str(),
-                    r.stepsDone, r.violations,
+                    r.stepsDone, r.violations, r.rollbacks,
                     static_cast<unsigned long long>(r.finalHash),
                     r.finalEnergy, statusName(r.status),
+                    r.rehabilitated ? " (rehabilitated)" : "",
                     r.quarantineReason.empty() ? "" : ": ",
                     r.quarantineReason.c_str());
     }
-    std::printf("\n%d world(s): %d completed, %d quarantined; %ld "
-                "steps in %.1f ms wall (%.0f steps/s, speedup est. "
+    std::printf("\n%d world(s): %d completed (%d rehabilitated), %d "
+                "quarantined; %ld rollback(s), %ld injected fault(s); "
+                "%ld steps in %.1f ms wall (%.0f steps/s, speedup est. "
                 "%.2fx)\n",
-                static_cast<int>(results.size()), completed, quarantined,
-                total_steps, wall_ms,
+                static_cast<int>(results.size()), completed,
+                rehabilitated, quarantined, total_rollbacks,
+                total_injected, total_steps, wall_ms,
                 wall_ms > 0.0 ? 1000.0 * total_steps / wall_ms : 0.0,
                 wall_ms > 0.0 ? busy_ms / wall_ms : 0.0);
 
@@ -269,6 +381,11 @@ main(int argc, char **argv)
         m.set("worlds", metrics::Json(static_cast<int>(results.size())));
         m.set("completed", metrics::Json(completed));
         m.set("quarantined", metrics::Json(quarantined));
+        m.set("rehabilitated", metrics::Json(rehabilitated));
+        m.set("rollbacks",
+              metrics::Json(static_cast<int64_t>(total_rollbacks)));
+        m.set("injected_faults",
+              metrics::Json(static_cast<int64_t>(total_injected)));
         m.set("total_steps", metrics::Json(static_cast<int64_t>(total_steps)));
         out.set("metrics", m);
         metrics::Json info = metrics::Json::object();
@@ -277,6 +394,26 @@ main(int argc, char **argv)
         info.set("wall_ms", metrics::Json(wall_ms));
         info.set("steps_per_sec", metrics::Json(
             wall_ms > 0.0 ? 1000.0 * total_steps / wall_ms : 0.0));
+        if (fault_mode) {
+            // The campaign is fully replayable from this block alone.
+            metrics::Json fj = metrics::Json::object();
+            fj.set("spec", metrics::Json(faults.describe()));
+            fj.set("checkpoints", metrics::Json(checkpoints));
+            fj.set("rollback_steps", metrics::Json(rollback));
+            fj.set("recovery_budget", metrics::Json(recovery_budget));
+            fj.set("rehab_attempts", metrics::Json(rehab_attempts));
+            metrics::Json byKind = metrics::Json::object();
+            for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+                uint64_t n = 0;
+                for (const auto &r : results)
+                    n += r.faultStats.injected[k];
+                byKind.set(
+                    fault::faultKindName(static_cast<fault::FaultKind>(k)),
+                    metrics::Json(n));
+            }
+            fj.set("injected_by_kind", std::move(byKind));
+            info.set("fault_campaign", std::move(fj));
+        }
         metrics::Json worlds = metrics::Json::array();
         for (const auto &r : results) {
             metrics::Json w = metrics::Json::object();
@@ -291,6 +428,28 @@ main(int argc, char **argv)
             w.set("energy", metrics::Json(r.finalEnergy));
             w.set("violations", metrics::Json(r.violations));
             w.set("reexecutions", metrics::Json(r.reexecutions));
+            w.set("rollbacks", metrics::Json(r.rollbacks));
+            if (r.rehabilitated)
+                w.set("rehabilitated", metrics::Json(true));
+            if (r.faultStats.total() > 0)
+                w.set("injected_faults",
+                      metrics::Json(r.faultStats.total()));
+            if (!r.recoveryEvents.empty()) {
+                metrics::Json events = metrics::Json::array();
+                for (const auto &ev : r.recoveryEvents) {
+                    metrics::Json e = metrics::Json::object();
+                    e.set("step", metrics::Json(ev.step));
+                    e.set("action", metrics::Json(ev.action));
+                    e.set("cause", metrics::Json(ev.cause));
+                    if (ev.action == "rollback")
+                        e.set("rollback_steps",
+                              metrics::Json(ev.rollbackSteps));
+                    e.set("rel_delta", metrics::Json(ev.relDelta));
+                    e.set("budget_left", metrics::Json(ev.budgetLeft));
+                    events.push(std::move(e));
+                }
+                w.set("recovery_events", std::move(events));
+            }
             if (!r.quarantineReason.empty())
                 w.set("reason", metrics::Json(r.quarantineReason));
             worlds.push(std::move(w));
@@ -314,5 +473,16 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", json_path.c_str());
     }
 
+    // A chaos campaign *expects* casualties: a quarantined world with a
+    // structured reason is the framework working, so only an unreadable
+    // outcome (no reason recorded) fails the run. Without injection, a
+    // quarantine is a real regression and keeps the nonzero exit.
+    if (fault_mode) {
+        for (const auto &r : results)
+            if (r.status == srv::WorldStatus::Quarantined &&
+                r.quarantineReason.empty())
+                return 4;
+        return 0;
+    }
     return quarantined == 0 ? 0 : 3;
 }
