@@ -8,6 +8,17 @@
 namespace hfpu {
 namespace phys {
 
+const char *
+degradationLevelName(DegradationLevel level)
+{
+    switch (level) {
+      case DegradationLevel::None:          return "none";
+      case DegradationLevel::DownshiftBits: return "downshift";
+      case DegradationLevel::CapIterations: return "cap-iterations";
+    }
+    return "?";
+}
+
 PrecisionPolicy
 validatedPolicy(const PrecisionPolicy &policy)
 {
@@ -15,6 +26,13 @@ validatedPolicy(const PrecisionPolicy &policy)
     p.minNarrowBits =
         std::clamp(p.minNarrowBits, 0, fp::kFullMantissaBits);
     p.minLcpBits = std::clamp(p.minLcpBits, 0, fp::kFullMantissaBits);
+    p.degradedNarrowBits =
+        std::clamp(p.degradedNarrowBits, 0, fp::kFullMantissaBits);
+    p.degradedLcpBits =
+        std::clamp(p.degradedLcpBits, 0, fp::kFullMantissaBits);
+    // A cap below one iteration would skip the solve outright; like
+    // the width clamps, treat it as a slip with an obvious intent.
+    p.degradedLcpIterations = std::max(p.degradedLcpIterations, 1);
     if (!(p.energyThreshold > 0.0) || !std::isfinite(p.energyThreshold)) {
         throw std::invalid_argument(
             "PrecisionPolicy.energyThreshold must be positive, got " +
@@ -66,13 +84,64 @@ PrecisionController::endStep(double energy, double injected, bool finite)
             forceFullPrecisionStep();
             return Action::Continue;
         }
-        // Decay one bit per quiet step back toward the programmed
-        // minimums.
-        narrowBits_ = std::max(narrowBits_ - 1, policy_.minNarrowBits);
-        lcpBits_ = std::max(lcpBits_ - 1, policy_.minLcpBits);
+        // Decay back toward the floor in force: the programmed
+        // minimums normally, the degraded floors under deadline
+        // pressure — and decay twice as fast there, since the point
+        // of degradation is to shed work *now*.
+        {
+            const int step =
+                degradation_ >= DegradationLevel::DownshiftBits ? 2 : 1;
+            narrowBits_ =
+                std::max(narrowBits_ - step, effectiveMinNarrowBits());
+            lcpBits_ = std::max(lcpBits_ - step, effectiveMinLcpBits());
+        }
         return Action::Continue;
     }
     return Action::Continue;
+}
+
+int
+PrecisionController::effectiveMinNarrowBits() const
+{
+    if (degradation_ >= DegradationLevel::DownshiftBits)
+        return std::min(policy_.minNarrowBits, policy_.degradedNarrowBits);
+    return policy_.minNarrowBits;
+}
+
+int
+PrecisionController::effectiveMinLcpBits() const
+{
+    if (degradation_ >= DegradationLevel::DownshiftBits)
+        return std::min(policy_.minLcpBits, policy_.degradedLcpBits);
+    return policy_.minLcpBits;
+}
+
+int
+PrecisionController::lcpIterationCap() const
+{
+    return degradation_ >= DegradationLevel::CapIterations
+        ? policy_.degradedLcpIterations
+        : 0;
+}
+
+void
+PrecisionController::setDegradationLevel(DegradationLevel level)
+{
+    const bool deepened = level > degradation_;
+    degradation_ = level;
+    if (deepened && holdSteps_ == 0) {
+        // Escalation sheds precision immediately (no waiting for the
+        // decay) — unless a post-rollback full-precision hold is in
+        // force, which the believability machinery wins.
+        narrowBits_ = std::min(narrowBits_, effectiveMinNarrowBits());
+        lcpBits_ = std::min(lcpBits_, effectiveMinLcpBits());
+    }
+    if (level == DegradationLevel::None) {
+        // Relaxation restores the normal floors; current widths rise
+        // only via the guard, so no snap here.
+        narrowBits_ = std::max(narrowBits_, policy_.minNarrowBits);
+        lcpBits_ = std::max(lcpBits_, policy_.minLcpBits);
+    }
 }
 
 void

@@ -17,6 +17,22 @@
 namespace hfpu {
 namespace phys {
 
+/**
+ * Overload-degradation rung. Under deadline pressure a supervisor
+ * (the batch scheduler) walks the controller down this ladder: shed
+ * *precision* first, then solver *iterations*, before it ever sheds
+ * *work* (quarantine). Ordered — a higher value is a deeper cut.
+ */
+enum class DegradationLevel : uint8_t {
+    None = 0,          //!< normal operation
+    DownshiftBits = 1, //!< degraded mantissa minimums in force
+    CapIterations = 2, //!< + LCP iteration cap in force
+};
+constexpr int kNumDegradationLevels = 3;
+
+/** Stable lowercase name ("none", "downshift", "cap-iterations"). */
+const char *degradationLevelName(DegradationLevel level);
+
 /** Developer-programmed precision policy. */
 struct PrecisionPolicy {
     /** Minimum mantissa bits for the narrow phase (23 = never reduce). */
@@ -28,6 +44,19 @@ struct PrecisionPolicy {
     double energyThreshold = 0.10;
     /** Gain (in units of the threshold) treated as a blow-up. */
     double blowupFactor = 10.0;
+    /** @name Overload degradation (deadline pressure only).
+     * In force only while the supervisor has raised the degradation
+     * level; the believability guard stays armed throughout and still
+     * throttles precision back up on a violation.
+     */
+    /** @{ */
+    /** Narrow-phase mantissa floor at DownshiftBits and deeper. */
+    int degradedNarrowBits = 12;
+    /** LCP mantissa floor at DownshiftBits and deeper. */
+    int degradedLcpBits = 10;
+    /** LCP iteration cap at CapIterations (>= 1). */
+    int degradedLcpIterations = 8;
+    /** @} */
 };
 
 /**
@@ -81,6 +110,27 @@ class PrecisionController
     /** Reset history after the world restored a snapshot. */
     void restartEnergyHistory(double energy);
 
+    /** @name Overload degradation ladder.
+     * Driven by a deadline-pressure supervisor; orthogonal to the
+     * believability guard. Raising the level immediately sheds
+     * precision down to the degraded floors (and, at CapIterations,
+     * caps the LCP passes the world runs); a guard violation still
+     * throttles precision back up to full, after which the quiet-step
+     * decay settles onto the degraded floors instead of the
+     * policy minimums. Lowering the level restores the normal floors
+     * and lets precision decay as usual.
+     */
+    /** @{ */
+    void setDegradationLevel(DegradationLevel level);
+    DegradationLevel degradationLevel() const { return degradation_; }
+    /** LCP iteration cap in force (0 = uncapped). */
+    int lcpIterationCap() const;
+    /** Mantissa floor for the narrow phase at the current level. */
+    int effectiveMinNarrowBits() const;
+    /** Mantissa floor for the LCP phase at the current level. */
+    int effectiveMinLcpBits() const;
+    /** @} */
+
     const PrecisionPolicy &policy() const { return policy_; }
     int currentNarrowBits() const { return narrowBits_; }
     int currentLcpBits() const { return lcpBits_; }
@@ -100,6 +150,7 @@ class PrecisionController
     int violations_ = 0;
     int reexecutions_ = 0;
     int holdSteps_ = 0;
+    DegradationLevel degradation_ = DegradationLevel::None;
 };
 
 } // namespace phys

@@ -1,6 +1,8 @@
 #include "phys/world.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "csim/metrics.h"
 #include "fault/fault.h"
@@ -193,6 +195,20 @@ World::runPhases()
         ScopedPhase lcp(Phase::Lcp);
         metrics::ScopedTimer timer(registry, "phys/lcp");
         IterationForwarder forwarder(listener_);
+        // Overload degradation: the tighter of the world's own cap and
+        // an attached controller's cap bounds the relaxation passes.
+        SolverConfig solverConfig = config_.solver;
+        {
+            int cap = lcpIterationCap_;
+            const int ctrlCap =
+                controller_ != nullptr ? controller_->lcpIterationCap() : 0;
+            if (ctrlCap > 0)
+                cap = cap > 0 ? std::min(cap, ctrlCap) : ctrlCap;
+            if (cap > 0 && cap < solverConfig.iterations) {
+                solverConfig.iterations = cap;
+                registry.count("phys/lcp_iteration_capped");
+            }
+        }
         // Per-island capture slots, flattened in island order below so
         // the record is deterministic under parallel solving.
         std::vector<std::vector<SolverImpulse>> captured(
@@ -216,7 +232,7 @@ World::runPhases()
             if (all_asleep)
                 return;
             IslandSolver solver(bodies_, contacts_, joints_, island,
-                                config_.solver, config_.dt);
+                                solverConfig, config_.dt);
             solver.solve(i, listener_ ? &forwarder : nullptr);
             if (captureImpulses_) {
                 const auto &rows = solver.rows();
@@ -295,6 +311,15 @@ World::updateSleeping()
 void
 World::step()
 {
+    // Input validation: a non-finite or non-positive dt would not fail
+    // here — it would quietly poison every velocity and position in
+    // the integrator and surface steps later as a believability
+    // violation. Fail fast with the actual value instead.
+    if (!std::isfinite(config_.dt) || config_.dt <= 0.0f)
+        throw std::invalid_argument(
+            "World::step: config dt must be positive and finite, got " +
+            std::to_string(config_.dt));
+
     if (listener_)
         listener_->beginStep(step_);
 

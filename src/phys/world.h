@@ -16,6 +16,7 @@
  * work units, which is how the cycle simulator's traces are segmented.
  */
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -156,10 +157,32 @@ class World
         config_.threads = pool != nullptr ? pool->threads() : 1;
     }
 
-    /** Advance the simulation by one dt step. */
+    /**
+     * Advance the simulation by one dt step.
+     *
+     * @throws std::invalid_argument when the configured dt is
+     *         non-finite or non-positive — garbage dt would otherwise
+     *         propagate silently through the integrator into every
+     *         body's state.
+     */
     void step();
 
     int stepCount() const { return step_; }
+
+    /**
+     * Cap the LCP relaxation passes below the configured
+     * SolverConfig::iterations (0 = uncapped, the default). The
+     * overload-degradation ladder uses this to shed solver work under
+     * deadline pressure; an attached PrecisionController's own cap
+     * (PrecisionController::lcpIterationCap) composes with it — the
+     * tighter of the two wins. Deterministic: the cap is plain state,
+     * identical across thread counts.
+     */
+    void setLcpIterationCap(int cap)
+    {
+        lcpIterationCap_ = std::max(0, cap);
+    }
+    int lcpIterationCap() const { return lcpIterationCap_; }
 
     /** @name Checkpoint ring (recovery ladder).
      * The controller's single-snapshot re-execute (Section 4.2)
@@ -301,6 +324,7 @@ class World
     std::vector<Island> islands_;
     bool captureImpulses_ = false;
     std::vector<SolverImpulse> lastImpulses_;
+    int lcpIterationCap_ = 0;
     int lastPairCount_ = 0;
     int step_ = 0;
     std::deque<Checkpoint> checkpoints_;

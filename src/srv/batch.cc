@@ -85,9 +85,13 @@ struct BatchScheduler::WorldTask {
 
 BatchScheduler::BatchScheduler(const BatchConfig &config)
     : config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &phys::Clock::steady()),
       pool_(std::make_unique<phys::WorkerPool>(
           std::max(1, config.threads)))
 {
+    pool_->setClock(clock_);
+    pool_->setChunkDeadline(config_.chunkDeadlineMicros);
 }
 
 BatchScheduler::~BatchScheduler() = default;
@@ -146,6 +150,71 @@ BatchScheduler::runWorld(WorldTask &task, int rehabAttempt)
         // to adapt precision, but to detect a blow-up and recover.
         phys::EnergyMonitor monitor(policy.energyThreshold,
                                     policy.blowupFactor);
+
+        // ---- Overload / deadline state ------------------------------
+        // Accounting uses only this world's own clock charges (keyed
+        // by its global batch index), never global readings — that is
+        // what makes the whole ladder replay bitwise across thread
+        // counts under a virtual clock. Rehabilitation reruns are
+        // exempt: they exist to prove health, not meet deadlines.
+        const int64_t stepDeadline =
+            std::max<int64_t>(0, config_.stepDeadlineMicros);
+        const int64_t worldBudget =
+            std::max<int64_t>(0, config_.worldBudgetMicros);
+        const bool deadlines =
+            (stepDeadline > 0 || worldBudget > 0) && rehabAttempt == 0;
+        const uint64_t clockStream = static_cast<uint64_t>(task.index);
+        const int escalateAfter = std::max(1, config_.degradeAfterMisses);
+        const int relaxAfter = std::max(1, config_.relaxAfterSteps);
+        phys::DegradationLevel level = phys::DegradationLevel::None;
+        int missStreak = 0;      // consecutive step-deadline misses
+        int calmStreak = 0;      // consecutive on-time steps
+        int sinceEscalation = 0; // steps since the last rung change
+
+        // Mantissa floors in force for unguarded worlds (guarded
+        // worlds get theirs from the controller).
+        auto narrowFloor = [&] {
+            return level >= phys::DegradationLevel::DownshiftBits
+                ? std::min(policy.minNarrowBits, policy.degradedNarrowBits)
+                : policy.minNarrowBits;
+        };
+        auto lcpFloor = [&] {
+            return level >= phys::DegradationLevel::DownshiftBits
+                ? std::min(policy.minLcpBits, policy.degradedLcpBits)
+                : policy.minLcpBits;
+        };
+
+        auto applyDegradation = [&] {
+            if (controller)
+                controller->setDegradationLevel(level);
+            else
+                world.setLcpIterationCap(
+                    level >= phys::DegradationLevel::CapIterations
+                        ? policy.degradedLcpIterations
+                        : 0);
+        };
+        auto emitDegradation = [&](const char *action, const char *cause,
+                                   int64_t stepCost) {
+            DegradationEvent ev;
+            ev.step = res.stepsDone;
+            ev.action = action;
+            ev.cause = cause;
+            ev.level = level;
+            ev.narrowBits = controller
+                ? controller->effectiveMinNarrowBits()
+                : narrowFloor();
+            ev.lcpBits =
+                controller ? controller->effectiveMinLcpBits() : lcpFloor();
+            ev.iterationCap =
+                level >= phys::DegradationLevel::CapIterations
+                ? policy.degradedLcpIterations
+                : 0;
+            ev.stepCostMicros = stepCost;
+            ev.budgetUsedMicros = res.budgetUsedMicros;
+            res.degradationEvents.push_back(std::move(ev));
+            metrics::Registry::global().count(
+                std::string("degradation/") + action);
+        };
 
         const std::string metricsKey =
             "srv/" + res.scenario + "@" + std::to_string(task.index) +
@@ -233,11 +302,17 @@ BatchScheduler::runWorld(WorldTask &task, int rehabAttempt)
                         const bool full = world.stepCount() < fullUntil;
                         ctx.setMantissaBits(fp::Phase::Narrow,
                                             full ? fp::kFullMantissaBits
-                                                 : policy.minNarrowBits);
+                                                 : narrowFloor());
                         ctx.setMantissaBits(fp::Phase::Lcp,
                                             full ? fp::kFullMantissaBits
-                                                 : policy.minLcpBits);
+                                                 : lcpFloor());
                     }
+                    // Every attempt is charged to the clock — retried
+                    // steps cost time too. Virtual clocks charge a
+                    // deterministic cost keyed by (world, step).
+                    const int stepNo = world.stepCount();
+                    const int64_t token =
+                        deadlines ? clock_->stepBegin() : 0;
                     std::string cause;
                     try {
                         fault::ScopedInjection arm(
@@ -245,6 +320,12 @@ BatchScheduler::runWorld(WorldTask &task, int rehabAttempt)
                         scenario.step();
                     } catch (const std::exception &e) {
                         cause = std::string("exception: ") + e.what();
+                    }
+                    int64_t stepCost = 0;
+                    if (deadlines) {
+                        stepCost =
+                            clock_->stepEnd(clockStream, stepNo, token);
+                        res.budgetUsedMicros += stepCost;
                     }
                     if (!cause.empty()) {
                         if (!recover(cause))
@@ -268,6 +349,85 @@ BatchScheduler::runWorld(WorldTask &task, int rehabAttempt)
                                      std::to_string(res.stepsDone)))
                             break;
                         continue;
+                    }
+                    if (!deadlines)
+                        continue;
+                    // ---- Degradation ladder -------------------------
+                    const bool miss =
+                        stepDeadline > 0 && stepCost > stepDeadline;
+                    if (miss) {
+                        ++res.deadlineMisses;
+                        ++missStreak;
+                        calmStreak = 0;
+                        metrics::Registry::global().count(
+                            "srv/deadline_miss");
+                    } else {
+                        missStreak = 0;
+                        ++calmStreak;
+                    }
+                    ++sinceEscalation;
+                    // Last rung: the budget is gone with steps still
+                    // to run. Shedding work is now the only move left,
+                    // and it is structured, not a hang.
+                    if (worldBudget > 0 &&
+                        res.budgetUsedMicros >= worldBudget &&
+                        res.stepsDone < total) {
+                        res.status = WorldStatus::Quarantined;
+                        res.deadlineExceeded = true;
+                        emitDegradation("quarantine", "world-budget",
+                                        stepCost);
+                        metrics::Registry::global().count(
+                            "degradation/deadline_quarantine");
+                        res.quarantineReason =
+                            "DeadlineExceeded (step " +
+                            std::to_string(res.stepsDone) + "/" +
+                            std::to_string(total) + ", used " +
+                            std::to_string(res.budgetUsedMicros) +
+                            "us of " + std::to_string(worldBudget) +
+                            "us budget, level=" +
+                            phys::degradationLevelName(level) +
+                            ", misses=" +
+                            std::to_string(res.deadlineMisses) + ")";
+                        break;
+                    }
+                    // Pro-rata budget projection: spending faster than
+                    // budget/steps is pressure even without a single
+                    // step-deadline miss.
+                    const bool projectedOver = worldBudget > 0 &&
+                        static_cast<double>(res.budgetUsedMicros) *
+                                static_cast<double>(total) >
+                            static_cast<double>(worldBudget) *
+                                static_cast<double>(res.stepsDone);
+                    if (level < phys::DegradationLevel::CapIterations &&
+                        (missStreak >= escalateAfter ||
+                         (projectedOver &&
+                          sinceEscalation >= escalateAfter))) {
+                        const char *cause = missStreak >= escalateAfter
+                            ? "step-deadline"
+                            : "budget-pressure";
+                        level = level == phys::DegradationLevel::None
+                            ? phys::DegradationLevel::DownshiftBits
+                            : phys::DegradationLevel::CapIterations;
+                        missStreak = 0;
+                        calmStreak = 0;
+                        sinceEscalation = 0;
+                        applyDegradation();
+                        emitDegradation(
+                            level == phys::DegradationLevel::DownshiftBits
+                                ? "downshift"
+                                : "cap-iterations",
+                            cause, stepCost);
+                    } else if (level > phys::DegradationLevel::None &&
+                               calmStreak >= relaxAfter &&
+                               !projectedOver) {
+                        level =
+                            level == phys::DegradationLevel::CapIterations
+                            ? phys::DegradationLevel::DownshiftBits
+                            : phys::DegradationLevel::None;
+                        calmStreak = 0;
+                        sinceEscalation = 0;
+                        applyDegradation();
+                        emitDegradation("relax", "recovered", stepCost);
                     }
                 }
             }
@@ -325,19 +485,79 @@ BatchScheduler::run(const std::vector<JobSpec> &jobs)
         }
     }
 
-    const int slots =
-        std::min(threads(), static_cast<int>(tasks.size()));
+    // ---- Admission control (backpressure) ----------------------
+    // Decide what to even attempt *before* simulating anything.
+    // Rejection is deterministic — always the expansion-order tail —
+    // and structured: status, reason, and a retry-after hint.
+    const int wanted = static_cast<int>(tasks.size());
+    int admitted = wanted;
+    std::string rejectCause;
+    if (config_.maxWorldsPerRun > 0 && admitted > config_.maxWorldsPerRun) {
+        admitted = config_.maxWorldsPerRun;
+        rejectCause = "per-run cap " +
+            std::to_string(config_.maxWorldsPerRun);
+    }
+    if (config_.maxPendingWorlds > 0) {
+        // Reserve queue room against concurrent run() calls with a
+        // CAS loop; whatever cannot be reserved is rejected, never
+        // silently queued.
+        int cur = pending_.load(std::memory_order_relaxed);
+        int grant;
+        do {
+            grant = std::min(
+                admitted, std::max(0, config_.maxPendingWorlds - cur));
+        } while (!pending_.compare_exchange_weak(
+            cur, cur + grant, std::memory_order_relaxed));
+        if (grant < admitted) {
+            admitted = grant;
+            rejectCause = "pending " + std::to_string(cur + grant) +
+                " of max " + std::to_string(config_.maxPendingWorlds);
+        }
+    } else {
+        pending_.fetch_add(admitted, std::memory_order_relaxed);
+    }
+    for (int i = admitted; i < wanted; ++i) {
+        WorldTask &task = tasks[i];
+        WorldResult &res = task.result;
+        res.scenario = task.scenario;
+        res.replica = task.replica;
+        res.status = WorldStatus::Rejected;
+        // Retry hint: one world's worth of time, plus the admitted
+        // queue ahead of the caller. Deliberately coarse — a pacing
+        // hint for the client, not a promise — and deliberately a
+        // function of queue depth only, never thread count, so the
+        // whole result stream stays bitwise identical across pool
+        // sizes (the determinism gate diffs rejection lines too).
+        const int64_t perWorld = config_.worldBudgetMicros > 0
+            ? config_.worldBudgetMicros
+            : static_cast<int64_t>(std::max(1, task.spec->steps)) * 1000;
+        res.retryAfterMicros = perWorld +
+            perWorld * static_cast<int64_t>(admitted);
+        res.quarantineReason = "Rejected (overload: " + rejectCause +
+            ", retry after " + std::to_string(res.retryAfterMicros) +
+            "us)";
+        metrics::Registry::global().count("srv/rejected");
+    }
+
+    const int concurrency = config_.maxConcurrentWorlds > 0
+        ? std::min(threads(), config_.maxConcurrentWorlds)
+        : threads();
+    const int slots = std::min(concurrency, admitted);
+    auto finishWorld = [this](WorldTask &task) {
+        runWorld(task);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+    };
     if (slots <= 1) {
-        for (WorldTask &task : tasks)
-            runWorld(task);
+        for (int i = 0; i < admitted; ++i)
+            finishWorld(tasks[i]);
     } else {
         // World-level work stealing: each slot owns a deque (filled
         // round-robin so long jobs spread out), pops its own work from
         // the back, and steals a whole world from the front of the
         // next busy slot when it runs dry.
         std::vector<std::deque<WorldTask *>> queues(slots);
-        for (WorldTask &task : tasks)
-            queues[task.index % slots].push_back(&task);
+        for (int i = 0; i < admitted; ++i)
+            queues[i % slots].push_back(&tasks[i]);
         std::mutex queueMutex;
         auto nextTask = [&](int slot) -> WorldTask * {
             std::lock_guard<std::mutex> lock(queueMutex);
@@ -360,7 +580,7 @@ BatchScheduler::run(const std::vector<JobSpec> &jobs)
             slots,
             [&](int slot) {
                 while (WorldTask *task = nextTask(slot))
-                    runWorld(*task);
+                    finishWorld(*task);
             },
             /*grain=*/1);
     }
@@ -373,7 +593,11 @@ BatchScheduler::run(const std::vector<JobSpec> &jobs)
     // original structured reason.
     if (config_.rehabAttempts > 0) {
         for (WorldTask &task : tasks) {
-            if (task.result.status != WorldStatus::Quarantined)
+            // Rejected worlds never ran; deadline-exceeded worlds are
+            // too slow, and a full-precision rerun would only amplify
+            // the overload that quarantined them.
+            if (task.result.status != WorldStatus::Quarantined ||
+                task.result.deadlineExceeded)
                 continue;
             WorldResult original = std::move(task.result);
             bool cured = false;

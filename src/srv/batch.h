@@ -38,8 +38,35 @@
  * recorded in WorldResult::recoveryEvents and counted in the metrics
  * registry, so a chaos campaign is diagnosable from the JSON artifact
  * alone.
+ *
+ * Overload resilience is the service-side mirror of that fault
+ * ladder: when the system cannot serve every world within its time
+ * budget, it sheds *precision* before it sheds *work*.
+ *
+ *  - Deadline budgets. Every step is charged to a Clock
+ *    (phys/clock.h); per-step deadlines and a per-world budget are
+ *    accounted from the world's own charges only, so under the
+ *    deterministic virtual clock the entire overload behavior —
+ *    misses, ladder transitions, quarantines — replays bitwise from
+ *    the seed at any thread count.
+ *  - Graceful degradation. Deadline pressure walks the world down a
+ *    ladder (phys::DegradationLevel): downshift mantissa widths
+ *    within the believability guard, then cap LCP iterations, and
+ *    only when the world budget is truly exhausted quarantine it
+ *    with a structured DeadlineExceeded reason. Sustained on-time
+ *    steps relax the ladder one rung at a time. Every transition is
+ *    a DegradationEvent in the result, a metrics counter, and a row
+ *    in the sim_server JSON artifact.
+ *  - Admission control. A bounded pending-worlds gate and per-run
+ *    caps reject excess load *before* simulating it, with a
+ *    structured retry-after hint instead of silent queue growth; a
+ *    per-batch concurrency cap bounds how many worlds run at once.
+ *  - Watchdog. The shared pool's stalled-chunk watchdog
+ *    (WorkerPool::setChunkDeadline) detects chunks past deadline and
+ *    fails injected stalls over instead of hanging the batch.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,6 +74,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "phys/clock.h"
 #include "phys/controller.h"
 #include "phys/parallel.h"
 #include "scen/scenario.h"
@@ -90,6 +118,26 @@ struct JobSpec {
 enum class WorldStatus {
     Completed,   //!< ran all requested steps
     Quarantined, //!< isolated after a blow-up or an exception
+    Rejected,    //!< never admitted (backpressure); retry later
+};
+
+/**
+ * One transition of the overload-degradation ladder, in the order it
+ * happened. `action` is "downshift", "cap-iterations", "relax", or
+ * "quarantine"; `cause` is what drove it ("step-deadline",
+ * "budget-pressure", "world-budget", or "recovered").
+ */
+struct DegradationEvent {
+    int step = 0;          //!< world step count at the transition
+    std::string action;
+    std::string cause;
+    /** Ladder level after the transition. */
+    phys::DegradationLevel level = phys::DegradationLevel::None;
+    int narrowBits = 0;    //!< narrow-phase mantissa floor in force
+    int lcpBits = 0;       //!< LCP mantissa floor in force
+    int iterationCap = 0;  //!< LCP iteration cap in force (0 = none)
+    int64_t stepCostMicros = 0;   //!< cost of the step that tripped it
+    int64_t budgetUsedMicros = 0; //!< cumulative world budget consumed
 };
 
 /** One action of the recovery ladder, in the order it happened. */
@@ -119,8 +167,18 @@ struct WorldResult {
     bool rehabilitated = false; //!< completed only via the rehab pass
     std::vector<RecoveryEvent> recoveryEvents; //!< ladder history
     fault::FaultStats faultStats; //!< injections, when faults armed
-    std::string quarantineReason; //!< empty unless quarantined
+    std::string quarantineReason; //!< empty unless quarantined/rejected
     double wallMs = 0.0;      //!< this world's own wall-clock time
+    /** @name Overload accounting (zero unless deadlines configured). */
+    /** @{ */
+    std::vector<DegradationEvent> degradationEvents; //!< ladder history
+    int deadlineMisses = 0;   //!< steps that exceeded the step deadline
+    int64_t budgetUsedMicros = 0; //!< clock charge across all steps
+    /** Quarantined specifically for exhausting its deadline budget. */
+    bool deadlineExceeded = false;
+    /** Rejected worlds: suggested wait before resubmitting (hint). */
+    int64_t retryAfterMicros = 0;
+    /** @} */
 };
 
 /** Streamed progress report (one per completed slice of a world). */
@@ -166,8 +224,58 @@ struct BatchConfig {
     /**
      * Full-precision from-scratch reruns granted to each quarantined
      * world at the end of the batch (0 disables rehabilitation).
+     * Deadline-exceeded worlds are never rehabilitated — a
+     * full-precision rerun of a world that was too slow is overload
+     * amplification, not recovery.
      */
     int rehabAttempts = 1;
+    /** @} */
+    /** @name Deadline budgets and the degradation ladder. */
+    /** @{ */
+    /**
+     * Time source for every latency decision (null = the process
+     * steady clock). Point this at a phys::VirtualClock to make every
+     * overload behavior deterministic and wall-time free. Not owned;
+     * must outlive the scheduler.
+     */
+    phys::Clock *clock = nullptr;
+    /**
+     * Per-step deadline in microseconds (0 = off). A streak of
+     * misses escalates the world one ladder rung.
+     */
+    int64_t stepDeadlineMicros = 0;
+    /**
+     * Total per-world time budget in microseconds (0 = off).
+     * Projected overrun escalates the ladder; actual exhaustion
+     * before the last step quarantines the world as DeadlineExceeded.
+     */
+    int64_t worldBudgetMicros = 0;
+    /** Consecutive step-deadline misses before escalating one rung. */
+    int degradeAfterMisses = 2;
+    /** Consecutive on-time steps before relaxing one rung. */
+    int relaxAfterSteps = 8;
+    /**
+     * Stalled-chunk watchdog deadline for the shared pool, in
+     * microseconds (0 = off); see WorkerPool::setChunkDeadline.
+     */
+    int64_t chunkDeadlineMicros = 0;
+    /** @} */
+    /** @name Admission control / backpressure. */
+    /** @{ */
+    /**
+     * Upper bound on worlds pending across concurrent run() calls
+     * (0 = unbounded). Expansion-order tail worlds beyond the bound
+     * are Rejected with a retry-after hint instead of queued.
+     */
+    int maxPendingWorlds = 0;
+    /** Upper bound on worlds admitted per run() call (0 = unbounded). */
+    int maxWorldsPerRun = 0;
+    /**
+     * Cap on worlds simulated concurrently within a batch
+     * (0 = one per pool thread). Excess threads still help via
+     * inner (island-level) parallelism.
+     */
+    int maxConcurrentWorlds = 0;
     /** @} */
     /**
      * Progress sink, invoked under the scheduler's mutex (thread-safe
@@ -200,6 +308,19 @@ class BatchScheduler
 
     int threads() const;
 
+    /**
+     * Worlds admitted but not yet finished, across every in-flight
+     * run() call — the quantity the maxPendingWorlds gate compares
+     * against. Exposed for load monitoring.
+     */
+    int pendingWorlds() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
+    /** The clock in force (config clock or the process steady clock). */
+    phys::Clock &clock() const { return *clock_; }
+
   private:
     struct WorldTask;
 
@@ -211,8 +332,10 @@ class BatchScheduler
     void runWorld(WorldTask &task, int rehabAttempt = 0);
 
     BatchConfig config_;
+    phys::Clock *clock_;
     std::unique_ptr<phys::WorkerPool> pool_;
     std::mutex progressMutex_;
+    std::atomic<int> pending_{0};
 };
 
 } // namespace srv

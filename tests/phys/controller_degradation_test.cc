@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the controller half of the overload-degradation
+ * ladder (DESIGN.md §9d): escalation sheds precision immediately,
+ * the believability guard outranks degradation, relaxation restores
+ * the normal floors, and the degraded floors/caps come from the
+ * validated policy. The scheduler-driven end-to-end ladder lives in
+ * tests/srv/overload_test.cc; this file pins the state machine alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/controller.h"
+
+using namespace hfpu;
+using phys::DegradationLevel;
+
+namespace {
+
+phys::PrecisionPolicy
+guardedPolicy()
+{
+    phys::PrecisionPolicy policy;
+    policy.minNarrowBits = 16;
+    policy.minLcpBits = 14;
+    policy.degradedNarrowBits = 12;
+    policy.degradedLcpBits = 10;
+    policy.degradedLcpIterations = 8;
+    return policy;
+}
+
+/** Feed calm, identical-energy steps so the quiet decay runs. */
+void
+calmSteps(phys::PrecisionController &ctrl, int n)
+{
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(ctrl.endStep(100.0, 0.0, true),
+                  phys::PrecisionController::Action::Continue);
+}
+
+} // namespace
+
+TEST(DegradationLevelName, StableStrings)
+{
+    EXPECT_STREQ(phys::degradationLevelName(DegradationLevel::None),
+                 "none");
+    EXPECT_STREQ(
+        phys::degradationLevelName(DegradationLevel::DownshiftBits),
+        "downshift");
+    EXPECT_STREQ(
+        phys::degradationLevelName(DegradationLevel::CapIterations),
+        "cap-iterations");
+}
+
+TEST(ControllerDegradation, EscalationShedsPrecisionImmediately)
+{
+    phys::PrecisionController ctrl(guardedPolicy());
+    ctrl.restartEnergyHistory(100.0);
+    EXPECT_EQ(ctrl.currentNarrowBits(), 16);
+    EXPECT_EQ(ctrl.currentLcpBits(), 14);
+    EXPECT_EQ(ctrl.lcpIterationCap(), 0);
+
+    ctrl.setDegradationLevel(DegradationLevel::DownshiftBits);
+    // No waiting for the quiet-step decay: the cut is instantaneous.
+    EXPECT_EQ(ctrl.currentNarrowBits(), 12);
+    EXPECT_EQ(ctrl.currentLcpBits(), 10);
+    EXPECT_EQ(ctrl.lcpIterationCap(), 0) << "cap only at level 2";
+
+    ctrl.setDegradationLevel(DegradationLevel::CapIterations);
+    EXPECT_EQ(ctrl.lcpIterationCap(), 8);
+}
+
+TEST(ControllerDegradation, GuardOutranksDegradation)
+{
+    phys::PrecisionController ctrl(guardedPolicy());
+    ctrl.restartEnergyHistory(100.0);
+    ctrl.setDegradationLevel(DegradationLevel::DownshiftBits);
+    ASSERT_EQ(ctrl.currentNarrowBits(), 12);
+
+    // An energy violation throttles clear back to full precision even
+    // while degraded — believability always wins.
+    EXPECT_EQ(ctrl.endStep(150.0, 0.0, true),
+              phys::PrecisionController::Action::Continue);
+    EXPECT_EQ(ctrl.violations(), 1);
+    EXPECT_EQ(ctrl.currentNarrowBits(), fp::kFullMantissaBits);
+    EXPECT_EQ(ctrl.currentLcpBits(), fp::kFullMantissaBits);
+
+    // The quiet decay then settles on the *degraded* floors (and runs
+    // two bits per step under degradation, not one).
+    const int before = ctrl.currentNarrowBits();
+    calmSteps(ctrl, 1);
+    EXPECT_EQ(ctrl.currentNarrowBits(), before - 2);
+    calmSteps(ctrl, 32);
+    EXPECT_EQ(ctrl.currentNarrowBits(), 12);
+    EXPECT_EQ(ctrl.currentLcpBits(), 10);
+}
+
+TEST(ControllerDegradation, RollbackHoldBlocksEscalationCut)
+{
+    phys::PrecisionController ctrl(guardedPolicy());
+    ctrl.restartEnergyHistory(100.0);
+    ctrl.holdFullPrecision(3);
+    // The post-rollback full-precision hold is the believability
+    // fail-safe; deadline pressure must not undercut it.
+    ctrl.setDegradationLevel(DegradationLevel::DownshiftBits);
+    EXPECT_EQ(ctrl.currentNarrowBits(), fp::kFullMantissaBits);
+    EXPECT_EQ(ctrl.currentLcpBits(), fp::kFullMantissaBits);
+    // Once the hold drains, the decay heads for the degraded floors.
+    calmSteps(ctrl, 32);
+    EXPECT_EQ(ctrl.currentNarrowBits(), 12);
+    EXPECT_EQ(ctrl.currentLcpBits(), 10);
+}
+
+TEST(ControllerDegradation, RelaxationRestoresNormalFloors)
+{
+    phys::PrecisionController ctrl(guardedPolicy());
+    ctrl.restartEnergyHistory(100.0);
+    ctrl.setDegradationLevel(DegradationLevel::CapIterations);
+    calmSteps(ctrl, 8);
+    ASSERT_EQ(ctrl.currentNarrowBits(), 12);
+    ASSERT_EQ(ctrl.lcpIterationCap(), 8);
+
+    ctrl.setDegradationLevel(DegradationLevel::None);
+    // Back to the programmed minimums, cap lifted.
+    EXPECT_EQ(ctrl.lcpIterationCap(), 0);
+    EXPECT_EQ(ctrl.currentNarrowBits(), 16);
+    EXPECT_EQ(ctrl.currentLcpBits(), 14);
+    EXPECT_EQ(ctrl.degradationLevel(), DegradationLevel::None);
+}
+
+TEST(ControllerDegradation, DegradedFloorsNeverRaiseTighterMinimums)
+{
+    // A policy whose programmed minimums are already below the
+    // degraded floors: degradation must not *raise* precision.
+    phys::PrecisionPolicy policy = guardedPolicy();
+    policy.minNarrowBits = 8;
+    policy.minLcpBits = 6;
+    phys::PrecisionController ctrl(policy);
+    ctrl.restartEnergyHistory(100.0);
+    calmSteps(ctrl, 32);
+    ASSERT_EQ(ctrl.currentNarrowBits(), 8);
+    ctrl.setDegradationLevel(DegradationLevel::DownshiftBits);
+    EXPECT_EQ(ctrl.currentNarrowBits(), 8);
+    EXPECT_EQ(ctrl.currentLcpBits(), 6);
+    EXPECT_EQ(ctrl.effectiveMinNarrowBits(), 8);
+    EXPECT_EQ(ctrl.effectiveMinLcpBits(), 6);
+}
+
+TEST(ControllerDegradation, ValidatedPolicyClampsDegradedKnobs)
+{
+    phys::PrecisionPolicy policy = guardedPolicy();
+    policy.degradedNarrowBits = -3;
+    policy.degradedLcpBits = 99;
+    policy.degradedLcpIterations = 0; // would skip the solve outright
+    const phys::PrecisionPolicy p = phys::validatedPolicy(policy);
+    EXPECT_EQ(p.degradedNarrowBits, 0);
+    EXPECT_EQ(p.degradedLcpBits, fp::kFullMantissaBits);
+    EXPECT_EQ(p.degradedLcpIterations, 1);
+}

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "fp/precision.h"
 #include "phys/cloth.h"
@@ -414,6 +416,35 @@ TEST_F(WorldTest, StepDeterminism)
     EXPECT_EQ(a.x, b.x);
     EXPECT_EQ(a.y, b.y);
     EXPECT_EQ(a.z, b.z);
+}
+
+TEST(WorldValidation, StepRejectsNonPositiveOrNonFiniteDt)
+{
+    for (const float dt :
+         {0.0f, -0.01f, std::numeric_limits<float>::quiet_NaN(),
+          std::numeric_limits<float>::infinity()}) {
+        WorldConfig config;
+        config.dt = dt;
+        World world(config);
+        world.addBody(
+            RigidBody(Shape::sphere(0.1f), 1.0f, {0.0f, 5.0f, 0.0f}));
+        EXPECT_THROW(world.step(), std::invalid_argument)
+            << "dt=" << dt;
+        EXPECT_EQ(world.stepCount(), 0);
+    }
+    // A valid dt still steps (the guard is not over-eager).
+    World world;
+    world.step();
+    EXPECT_EQ(world.stepCount(), 1);
+}
+
+TEST(WorldValidation, LcpIterationCapClampsToZero)
+{
+    World world;
+    world.setLcpIterationCap(-5);
+    EXPECT_EQ(world.lcpIterationCap(), 0);
+    world.setLcpIterationCap(8);
+    EXPECT_EQ(world.lcpIterationCap(), 8);
 }
 
 } // namespace

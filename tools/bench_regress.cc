@@ -213,7 +213,10 @@ main(int argc, char **argv)
             opt.only = value;
         } else if (arg == "--tolerance" && next(&value)) {
             opt.tolerance = std::atof(value.c_str());
-            if (opt.tolerance <= 0.0) {
+            // 0 is meaningful: exact match, used by the CI overload
+            // gate to pin deterministic campaign metrics bitwise.
+            if (opt.tolerance < 0.0 ||
+                (opt.tolerance == 0.0 && value != "0")) {
                 std::fprintf(stderr, "bad tolerance: %s\n",
                              value.c_str());
                 return 2;

@@ -19,12 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "csim/metrics.h"
 #include "fault/fault.h"
 #include "fp/precision.h"
+#include "phys/clock.h"
 #include "scen/scenario.h"
 #include "srv/batch.h"
 
@@ -74,20 +76,54 @@ usage(const char *argv0)
         "throw, stall,\n"
         "                     steps=a..b, max=N, stall-us=N\n"
         "  --checkpoints N    per-world checkpoint ring size "
-        "(default 4; 0 = off)\n"
+        "(default 4; 0 = off,\n"
+        "                     which requires --rollback 0)\n"
         "  --rollback K       steps rolled back per recovery "
         "(default 3)\n"
         "  --recovery-budget N  recoveries per world before "
         "quarantine (default 3)\n"
         "  --rehab-attempts N full-precision reruns for quarantined "
-        "worlds (default 1)\n");
+        "worlds (default 1)\n"
+        "overload resilience (deadlines, degradation, backpressure):\n"
+        "  --step-deadline-us N   per-step deadline; miss streaks walk "
+        "the\n"
+        "                         degradation ladder (default 0 = off)\n"
+        "  --world-budget-us N    per-world time budget; exhaustion "
+        "quarantines\n"
+        "                         as DeadlineExceeded (default 0 = "
+        "off)\n"
+        "  --chunk-deadline-us N  worker-pool stalled-chunk watchdog "
+        "(default 0)\n"
+        "  --degrade-after N      misses before escalating a rung "
+        "(default 2)\n"
+        "  --relax-after N        on-time steps before relaxing "
+        "(default 8)\n"
+        "  --max-pending N        admission cap on pending worlds "
+        "(default 0)\n"
+        "  --max-concurrent N     cap on worlds simulated at once "
+        "(default 0)\n"
+        "  --virtual-clock US     deterministic virtual clock, US "
+        "microseconds\n"
+        "                         base step cost (0 = real steady "
+        "clock)\n"
+        "  --virtual-jitter F     virtual clock jitter fraction in "
+        "[0,1]\n"
+        "                         (default 0.5; seeded from --seed)\n"
+        "  --events PATH          write one line per degradation event "
+        "(stable\n"
+        "                         across thread counts under the "
+        "virtual clock)\n");
 }
 
 const char *
 statusName(srv::WorldStatus status)
 {
-    return status == srv::WorldStatus::Completed ? "completed"
-                                                 : "quarantined";
+    switch (status) {
+      case srv::WorldStatus::Completed:   return "completed";
+      case srv::WorldStatus::Quarantined: return "quarantined";
+      case srv::WorldStatus::Rejected:    return "rejected";
+    }
+    return "?";
 }
 
 /**
@@ -104,6 +140,22 @@ parseIntArg(const char *flag, const char *text)
     if (errno != 0 || end == text || *end != '\0') {
         std::fprintf(stderr,
                      "sim_server: error: %s expects an integer, got "
+                     "'%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseFloatArg(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "sim_server: error: %s expects a number, got "
                      "'%s'\n",
                      flag, text);
         std::exit(2);
@@ -153,6 +205,16 @@ main(int argc, char **argv)
     int rollback = 3;
     int recovery_budget = 3;
     int rehab_attempts = 1;
+    long step_deadline_us = 0;
+    long world_budget_us = 0;
+    long chunk_deadline_us = 0;
+    int degrade_after = 2;
+    int relax_after = 8;
+    int max_pending = 0;
+    int max_concurrent = 0;
+    long virtual_clock_us = 0;
+    double virtual_jitter = 0.5;
+    std::string events_path;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
@@ -204,6 +266,26 @@ main(int argc, char **argv)
             recovery_budget = nextInt();
         } else if (!std::strcmp(argv[i], "--rehab-attempts")) {
             rehab_attempts = nextInt();
+        } else if (!std::strcmp(argv[i], "--step-deadline-us")) {
+            step_deadline_us = parseIntArg("--step-deadline-us", next());
+        } else if (!std::strcmp(argv[i], "--world-budget-us")) {
+            world_budget_us = parseIntArg("--world-budget-us", next());
+        } else if (!std::strcmp(argv[i], "--chunk-deadline-us")) {
+            chunk_deadline_us = parseIntArg("--chunk-deadline-us", next());
+        } else if (!std::strcmp(argv[i], "--degrade-after")) {
+            degrade_after = nextInt();
+        } else if (!std::strcmp(argv[i], "--relax-after")) {
+            relax_after = nextInt();
+        } else if (!std::strcmp(argv[i], "--max-pending")) {
+            max_pending = nextInt();
+        } else if (!std::strcmp(argv[i], "--max-concurrent")) {
+            max_concurrent = nextInt();
+        } else if (!std::strcmp(argv[i], "--virtual-clock")) {
+            virtual_clock_us = parseIntArg("--virtual-clock", next());
+        } else if (!std::strcmp(argv[i], "--virtual-jitter")) {
+            virtual_jitter = parseFloatArg("--virtual-jitter", next());
+        } else if (!std::strcmp(argv[i], "--events")) {
+            events_path = next();
         } else if (!std::strcmp(argv[i], "--no-controller")) {
             use_controller = false;
         } else if (!std::strcmp(argv[i], "--no-inner")) {
@@ -242,6 +324,48 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    // Cross-flag validation: an inconsistent campaign configuration is
+    // a misconfiguration, not a degenerate run — diagnose and exit 2
+    // before simulating anything.
+    auto configError = [](const char *message) {
+        std::fprintf(stderr, "sim_server: error: %s\n", message);
+        std::exit(2);
+    };
+    if (threads < 1)
+        configError("--threads must be >= 1");
+    if (steps < 0)
+        configError("--steps must be >= 0");
+    if (replicas < 1)
+        configError("--replicas must be >= 1");
+    if (lcp_bits < 0 || lcp_bits > 23)
+        configError("--lcp-bits must be in [0, 23]");
+    if (narrow_bits < 0 || narrow_bits > 23)
+        configError("--narrow-bits must be in [0, 23]");
+    if (checkpoints < 0 || rollback < 0 || recovery_budget < 0 ||
+        rehab_attempts < 0)
+        configError("recovery flags (--checkpoints, --rollback, "
+                    "--recovery-budget, --rehab-attempts) must be >= 0");
+    if (rollback > 0 && checkpoints < rollback)
+        configError("--rollback R needs --checkpoints >= R: the ring "
+                    "must hold a checkpoint that far back for the "
+                    "recovery ladder to roll to (use --rollback 0 to "
+                    "disable recovery)");
+    if (step_deadline_us < 0 || world_budget_us < 0 ||
+        chunk_deadline_us < 0)
+        configError("deadline flags (--step-deadline-us, "
+                    "--world-budget-us, --chunk-deadline-us) must be "
+                    ">= 0");
+    if (degrade_after < 1 || relax_after < 1)
+        configError("--degrade-after and --relax-after must be >= 1");
+    if (max_pending < 0 || max_concurrent < 0)
+        configError("--max-pending and --max-concurrent must be >= 0");
+    if (virtual_clock_us < 0)
+        configError("--virtual-clock must be >= 0");
+    if (virtual_jitter < 0.0 || virtual_jitter > 1.0)
+        configError("--virtual-jitter must be in [0, 1]");
+    const bool overload_mode =
+        step_deadline_us > 0 || world_budget_us > 0 || max_pending > 0;
 
     if (scenarios.empty())
         scenarios.push_back("Everything");
@@ -286,6 +410,20 @@ main(int argc, char **argv)
     config.rollbackSteps = rollback;
     config.recoveryBudget = recovery_budget;
     config.rehabAttempts = rehab_attempts;
+    config.stepDeadlineMicros = step_deadline_us;
+    config.worldBudgetMicros = world_budget_us;
+    config.chunkDeadlineMicros = chunk_deadline_us;
+    config.degradeAfterMisses = degrade_after;
+    config.relaxAfterSteps = relax_after;
+    config.maxPendingWorlds = max_pending;
+    config.maxConcurrentWorlds = max_concurrent;
+    // The virtual clock makes the whole overload campaign a pure
+    // function of the seed: identical event streams on any --threads.
+    std::optional<phys::VirtualClock> virtualClock;
+    if (virtual_clock_us > 0) {
+        virtualClock.emplace(virtual_clock_us, seed, virtual_jitter);
+        config.clock = &*virtualClock;
+    }
     if (stream_progress) {
         config.onProgress = [](const srv::WorldProgress &p) {
             std::printf("[w%03d %s#%d] step %d/%d energy=%.3f%s\n",
@@ -307,6 +445,17 @@ main(int argc, char **argv)
                     "budget=%d rehab=%d)\n",
                     faults.describe().c_str(), checkpoints, rollback,
                     recovery_budget, rehab_attempts);
+    if (overload_mode)
+        std::printf("overload campaign: step-deadline=%ldus "
+                    "world-budget=%ldus degrade-after=%d relax-after=%d "
+                    "max-pending=%d max-concurrent=%d clock=%s\n",
+                    step_deadline_us, world_budget_us, degrade_after,
+                    relax_after, max_pending, max_concurrent,
+                    virtual_clock_us > 0
+                        ? ("virtual(" + std::to_string(virtual_clock_us) +
+                           "us)")
+                              .c_str()
+                        : "steady");
 
     metrics::Registry::global().reset();
     srv::BatchScheduler scheduler(config);
@@ -317,15 +466,23 @@ main(int argc, char **argv)
                                .count();
 
     int completed = 0, quarantined = 0, rehabilitated = 0;
+    int rejected = 0, deadline_exceeded = 0;
     long total_steps = 0, total_rollbacks = 0, total_injected = 0;
+    long total_misses = 0, total_degradations = 0;
     double busy_ms = 0.0;
     for (const auto &r : results) {
-        (r.status == srv::WorldStatus::Completed ? completed
-                                                 : quarantined)++;
+        switch (r.status) {
+          case srv::WorldStatus::Completed:   ++completed; break;
+          case srv::WorldStatus::Quarantined: ++quarantined; break;
+          case srv::WorldStatus::Rejected:    ++rejected; break;
+        }
         rehabilitated += r.rehabilitated ? 1 : 0;
+        deadline_exceeded += r.deadlineExceeded ? 1 : 0;
         total_steps += r.stepsDone;
         total_rollbacks += r.rollbacks;
         total_injected += static_cast<long>(r.faultStats.total());
+        total_misses += r.deadlineMisses;
+        total_degradations += static_cast<long>(r.degradationEvents.size());
         busy_ms += r.wallMs;
     }
 
@@ -345,14 +502,18 @@ main(int argc, char **argv)
                     r.quarantineReason.c_str());
     }
     std::printf("\n%d world(s): %d completed (%d rehabilitated), %d "
-                "quarantined; %ld rollback(s), %ld injected fault(s); "
-                "%ld steps in %.1f ms wall (%.0f steps/s, speedup est. "
-                "%.2fx)\n",
+                "quarantined, %d rejected; %ld rollback(s), %ld "
+                "injected fault(s); %ld steps in %.1f ms wall (%.0f "
+                "steps/s, speedup est. %.2fx)\n",
                 static_cast<int>(results.size()), completed,
-                rehabilitated, quarantined, total_rollbacks,
+                rehabilitated, quarantined, rejected, total_rollbacks,
                 total_injected, total_steps, wall_ms,
                 wall_ms > 0.0 ? 1000.0 * total_steps / wall_ms : 0.0,
                 wall_ms > 0.0 ? busy_ms / wall_ms : 0.0);
+    if (overload_mode)
+        std::printf("overload: %ld deadline miss(es), %ld degradation "
+                    "event(s), %d DeadlineExceeded\n",
+                    total_misses, total_degradations, deadline_exceeded);
 
     if (!hashes_path.empty()) {
         std::FILE *f = std::fopen(hashes_path.c_str(), "w");
@@ -372,6 +533,39 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", hashes_path.c_str());
     }
 
+    if (!events_path.empty()) {
+        // One line per ladder transition, in (world, event) order —
+        // under the virtual clock this file is bitwise identical for
+        // any --threads value, which the CI overload job diffs.
+        std::FILE *f = std::fopen(events_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         events_path.c_str());
+            return 1;
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            for (const auto &ev : r.degradationEvents)
+                std::fprintf(
+                    f,
+                    "w%03zu %s#%d step=%d %s cause=%s level=%s "
+                    "narrow=%d lcp=%d cap=%d cost=%lld used=%lld\n",
+                    i, r.scenario.c_str(), r.replica, ev.step,
+                    ev.action.c_str(), ev.cause.c_str(),
+                    phys::degradationLevelName(ev.level), ev.narrowBits,
+                    ev.lcpBits, ev.iterationCap,
+                    static_cast<long long>(ev.stepCostMicros),
+                    static_cast<long long>(ev.budgetUsedMicros));
+            if (r.status == srv::WorldStatus::Rejected)
+                std::fprintf(
+                    f, "w%03zu %s#%d rejected retry-after=%lld\n", i,
+                    r.scenario.c_str(), r.replica,
+                    static_cast<long long>(r.retryAfterMicros));
+        }
+        std::fclose(f);
+        std::printf("wrote %s\n", events_path.c_str());
+    }
+
     if (!json_path.empty()) {
         metrics::Json out = metrics::Json::object();
         out.set("schema", metrics::Json(1));
@@ -387,6 +581,12 @@ main(int argc, char **argv)
         m.set("injected_faults",
               metrics::Json(static_cast<int64_t>(total_injected)));
         m.set("total_steps", metrics::Json(static_cast<int64_t>(total_steps)));
+        m.set("rejected", metrics::Json(rejected));
+        m.set("deadline_misses",
+              metrics::Json(static_cast<int64_t>(total_misses)));
+        m.set("degradation_events",
+              metrics::Json(static_cast<int64_t>(total_degradations)));
+        m.set("deadline_exceeded", metrics::Json(deadline_exceeded));
         out.set("metrics", m);
         metrics::Json info = metrics::Json::object();
         info.set("threads", metrics::Json(threads));
@@ -414,6 +614,24 @@ main(int argc, char **argv)
             fj.set("injected_by_kind", std::move(byKind));
             info.set("fault_campaign", std::move(fj));
         }
+        if (overload_mode || virtual_clock_us > 0) {
+            // The campaign is fully replayable from this block alone.
+            metrics::Json oj = metrics::Json::object();
+            oj.set("step_deadline_us",
+                   metrics::Json(static_cast<int64_t>(step_deadline_us)));
+            oj.set("world_budget_us",
+                   metrics::Json(static_cast<int64_t>(world_budget_us)));
+            oj.set("chunk_deadline_us",
+                   metrics::Json(static_cast<int64_t>(chunk_deadline_us)));
+            oj.set("degrade_after", metrics::Json(degrade_after));
+            oj.set("relax_after", metrics::Json(relax_after));
+            oj.set("max_pending", metrics::Json(max_pending));
+            oj.set("max_concurrent", metrics::Json(max_concurrent));
+            oj.set("virtual_clock_us",
+                   metrics::Json(static_cast<int64_t>(virtual_clock_us)));
+            oj.set("virtual_jitter", metrics::Json(virtual_jitter));
+            info.set("overload_campaign", std::move(oj));
+        }
         metrics::Json worlds = metrics::Json::array();
         for (const auto &r : results) {
             metrics::Json w = metrics::Json::object();
@@ -434,6 +652,37 @@ main(int argc, char **argv)
             if (r.faultStats.total() > 0)
                 w.set("injected_faults",
                       metrics::Json(r.faultStats.total()));
+            if (r.deadlineMisses > 0)
+                w.set("deadline_misses", metrics::Json(r.deadlineMisses));
+            if (r.budgetUsedMicros > 0)
+                w.set("budget_used_us",
+                      metrics::Json(r.budgetUsedMicros));
+            if (r.deadlineExceeded)
+                w.set("deadline_exceeded", metrics::Json(true));
+            if (r.retryAfterMicros > 0)
+                w.set("retry_after_us",
+                      metrics::Json(r.retryAfterMicros));
+            if (!r.degradationEvents.empty()) {
+                metrics::Json events = metrics::Json::array();
+                for (const auto &ev : r.degradationEvents) {
+                    metrics::Json e = metrics::Json::object();
+                    e.set("step", metrics::Json(ev.step));
+                    e.set("action", metrics::Json(ev.action));
+                    e.set("cause", metrics::Json(ev.cause));
+                    e.set("level", metrics::Json(std::string(
+                              phys::degradationLevelName(ev.level))));
+                    e.set("narrow_bits", metrics::Json(ev.narrowBits));
+                    e.set("lcp_bits", metrics::Json(ev.lcpBits));
+                    e.set("iteration_cap",
+                          metrics::Json(ev.iterationCap));
+                    e.set("step_cost_us",
+                          metrics::Json(ev.stepCostMicros));
+                    e.set("budget_used_us",
+                          metrics::Json(ev.budgetUsedMicros));
+                    events.push(std::move(e));
+                }
+                w.set("degradation_events", std::move(events));
+            }
             if (!r.recoveryEvents.empty()) {
                 metrics::Json events = metrics::Json::array();
                 for (const auto &ev : r.recoveryEvents) {
@@ -482,6 +731,20 @@ main(int argc, char **argv)
             if (r.status == srv::WorldStatus::Quarantined &&
                 r.quarantineReason.empty())
                 return 4;
+        return 0;
+    }
+    // An overload campaign likewise expects shed load: rejected worlds
+    // and DeadlineExceeded quarantines are the backpressure working.
+    // A quarantine for any *other* cause is still a real failure.
+    if (overload_mode) {
+        for (const auto &r : results) {
+            if (r.status != srv::WorldStatus::Quarantined)
+                continue;
+            if (r.quarantineReason.empty())
+                return 4;
+            if (!r.deadlineExceeded)
+                return 3;
+        }
         return 0;
     }
     return quarantined == 0 ? 0 : 3;
